@@ -1,0 +1,129 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section (see DESIGN.md's experiment index) and
+   times the compiler itself with bechamel.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe fig4 fig8  -- run a subset *)
+
+module E = Vliw_experiments
+
+let ppf = Format.std_formatter
+
+let banner name =
+  Format.fprintf ppf "@.==== %s ====@.@." name
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the compiler pipeline (engineering
+   bench; not a paper artefact). *)
+
+let perf () =
+  let open Bechamel in
+  let cfg = Vliw_arch.Config.default in
+  let bench = Vliw_workloads.Mediabench.find "gsmdec" in
+  let loop = List.hd (Vliw_workloads.Benchspec.loops bench) in
+  let layout =
+    Vliw_workloads.Layout.create cfg ~aligned:true
+      ~run:Vliw_workloads.Layout.Profile_run ~seed:7
+  in
+  let profiler = Vliw_workloads.Profiling.profiler cfg layout in
+  let compile target strategy () =
+    ignore (Vliw_core.Pipeline.compile cfg ~target ~strategy ~profiler loop)
+  in
+  let interleaved h =
+    Vliw_core.Pipeline.Interleaved { heuristic = h; chains = true }
+  in
+  let exec () =
+    let c =
+      Vliw_core.Pipeline.compile cfg ~target:(interleaved `Ipbc)
+        ~strategy:Vliw_core.Unroll_select.Selective ~profiler loop
+    in
+    let exec_layout =
+      Vliw_workloads.Layout.create cfg ~aligned:true
+        ~run:Vliw_workloads.Layout.Execution_run ~seed:7
+    in
+    let machine =
+      Vliw_sim.Machine.create cfg
+        (Vliw_sim.Machine.Word_interleaved { attraction_buffers = true })
+    in
+    let addr_of =
+      Vliw_workloads.Layout.addr_fn exec_layout
+        c.Vliw_core.Pipeline.loop.Vliw_ir.Loop.ddg
+    in
+    ignore (Vliw_sim.Executor.run_loop cfg machine c ~addr_of ())
+  in
+  let tests =
+    Test.make_grouped ~name:"vliw" ~fmt:"%s %s"
+      [
+        Test.make ~name:"compile/ipbc-selective"
+          (Staged.stage (compile (interleaved `Ipbc) Vliw_core.Unroll_select.Selective));
+        Test.make ~name:"compile/ibc-ouf"
+          (Staged.stage (compile (interleaved `Ibc) Vliw_core.Unroll_select.Ouf_unrolling));
+        Test.make ~name:"compile/base-unified"
+          (Staged.stage
+             (compile (Vliw_core.Pipeline.Unified { slow = true })
+                Vliw_core.Unroll_select.Selective));
+        Test.make ~name:"compile+simulate/ipbc" (Staged.stage exec);
+      ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg_b =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+    in
+    let raw = Benchmark.all cfg_b instances tests in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  let results = benchmark () in
+  Format.fprintf ppf "bechamel (monotonic clock, ns/run):@.";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) -> Format.fprintf ppf "  %-32s %12.0f ns@." name t
+      | Some [] | None -> Format.fprintf ppf "  %-32s (no estimate)@." name)
+    results;
+  Format.fprintf ppf "@."
+
+(* ------------------------------------------------------------------ *)
+
+let experiments ctx =
+  [
+    ("table1", fun () -> E.Table1.run ppf);
+    ("table2", fun () -> E.Table2.run ppf ctx);
+    ("ex1", fun () -> E.Worked_example.run ppf ctx);
+    ("fig4", fun () -> E.Fig4.run ppf ctx);
+    ("fig5", fun () -> E.Fig5.run ppf ctx);
+    ("fig6", fun () -> E.Fig6.run ppf ctx);
+    ("fig7", fun () -> E.Fig7.run ppf ctx);
+    ("fig8", fun () -> E.Fig8.run ppf ctx);
+    ("ablation-hints", fun () -> E.Ablation_hints.run ppf ctx);
+    ("ablation-chains", fun () -> E.Ablation_chains.run ppf ctx);
+    ("ablation-interleave", fun () -> E.Ablation_interleave.run ppf ctx);
+    ("ablation-clusters", fun () -> E.Ablation_clusters.run ppf ctx);
+    ("ablation-traffic", fun () -> E.Ablation_traffic.run ppf ctx);
+    ("ablation-unroll", fun () -> E.Ablation_unroll.run ppf ctx);
+    ("csv", fun () -> E.Csv_export.run ppf ctx);
+    ("perf", perf);
+  ]
+
+let () =
+  let ctx = E.Context.create () in
+  let all = experiments ctx in
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f ->
+          banner name;
+          f ()
+      | None ->
+          Format.fprintf ppf "unknown experiment %S; available: %s@." name
+            (String.concat ", " (List.map fst all));
+          exit 2)
+    requested

@@ -1,0 +1,258 @@
+(* vliw-repro: command-line front end for the reproduction.
+
+     vliw-repro list                      benchmarks in the suite
+     vliw-repro config                    the simulated machine (Table 2)
+     vliw-repro experiment fig8 ...       regenerate figures/tables
+     vliw-repro compile gsmdec            schedules of one benchmark
+     vliw-repro run gsmdec --arch=...     simulate one benchmark *)
+
+open Cmdliner
+module E = Vliw_experiments
+module Pipeline = Vliw_core.Pipeline
+module Schedule = Vliw_sched.Schedule
+module Loop = Vliw_ir.Loop
+module WL = Vliw_workloads
+module Stats = Vliw_sim.Stats
+
+let ppf = Format.std_formatter
+
+(* ---------------------------------------------------------------- list *)
+
+let list_cmd =
+  let doc = "List the benchmarks of the synthetic Mediabench suite." in
+  let run () =
+    List.iter
+      (fun (b : WL.Benchspec.t) ->
+        let size, share = WL.Benchspec.dominant_size b in
+        Format.fprintf ppf "%-10s %2d loops  %dB data (%.0f%%)  %s@."
+          b.WL.Benchspec.name
+          (List.length b.WL.Benchspec.kernels)
+          size (100.0 *. share) b.WL.Benchspec.description)
+      WL.Mediabench.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* -------------------------------------------------------------- config *)
+
+let config_cmd =
+  let doc = "Print the simulated machine configuration (Table 2)." in
+  let run () = Format.fprintf ppf "%a@." Vliw_arch.Config.pp Vliw_arch.Config.default in
+  Cmd.v (Cmd.info "config" ~doc) Term.(const run $ const ())
+
+(* ---------------------------------------------------------- experiment *)
+
+let experiment_cmd =
+  let doc = "Regenerate one of the paper's tables or figures." in
+  let names =
+    Arg.(
+      non_empty
+      & pos_all
+          (enum
+             [
+               ("table1", `Table1); ("table2", `Table2); ("ex1", `Ex1);
+               ("fig4", `Fig4); ("fig5", `Fig5); ("fig6", `Fig6);
+               ("fig7", `Fig7); ("fig8", `Fig8);
+               ("ablation-hints", `Hints); ("ablation-chains", `Chains);
+               ("ablation-interleave", `Interleave);
+               ("ablation-clusters", `Clusters);
+               ("ablation-traffic", `Traffic);
+               ("ablation-unroll", `Unroll); ("csv", `Csv);
+             ])
+          []
+      & info [] ~docv:"EXPERIMENT")
+  in
+  let run names =
+    let ctx = E.Context.create () in
+    List.iter
+      (function
+        | `Table1 -> E.Table1.run ppf
+        | `Table2 -> E.Table2.run ppf ctx
+        | `Ex1 -> E.Worked_example.run ppf ctx
+        | `Fig4 -> E.Fig4.run ppf ctx
+        | `Fig5 -> E.Fig5.run ppf ctx
+        | `Fig6 -> E.Fig6.run ppf ctx
+        | `Fig7 -> E.Fig7.run ppf ctx
+        | `Fig8 -> E.Fig8.run ppf ctx
+        | `Hints -> E.Ablation_hints.run ppf ctx
+        | `Chains -> E.Ablation_chains.run ppf ctx
+        | `Interleave -> E.Ablation_interleave.run ppf ctx
+        | `Clusters -> E.Ablation_clusters.run ppf ctx
+        | `Traffic -> E.Ablation_traffic.run ppf ctx
+        | `Unroll -> E.Ablation_unroll.run ppf ctx
+        | `Csv -> E.Csv_export.run ppf ctx)
+      names
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ names)
+
+(* ------------------------------------------------------ shared options *)
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see $(b,list)).")
+
+let heuristic_arg =
+  Arg.(
+    value
+    & opt (enum [ ("ipbc", `Ipbc); ("ibc", `Ibc) ]) `Ipbc
+    & info [ "heuristic" ] ~docv:"H" ~doc:"Cluster heuristic: ipbc or ibc.")
+
+let strategy_arg =
+  let open Vliw_core.Unroll_select in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("selective", Selective); ("ouf", Ouf_unrolling);
+             ("none", No_unrolling); ("xN", Unroll_times_n);
+           ])
+        Selective
+    & info [ "unroll" ] ~docv:"S"
+        ~doc:"Unrolling strategy: selective, ouf, none or xN.")
+
+let find_bench name =
+  try Ok (WL.Mediabench.find name)
+  with Not_found ->
+    Error
+      (Printf.sprintf "unknown benchmark %S (try: %s)" name
+         (String.concat ", " WL.Mediabench.names))
+
+(* ------------------------------------------------------------- compile *)
+
+let compile_cmd =
+  let doc = "Compile a benchmark's loops and print their schedules." in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:"Also print each loop's modulo-scheduled kernel table.")
+  in
+  let run name heuristic strategy dump =
+    match find_bench name with
+    | Error e -> prerr_endline e; exit 2
+    | Ok bench ->
+        let ctx = E.Context.create () in
+        let spec = E.Context.interleaved ~strategy heuristic in
+        List.iter
+          (fun (c : Pipeline.compiled) ->
+            Format.fprintf ppf
+              "loop %-12s UF=%-2d II=%-3d SC=%d copies=%-3d WB=%.2f \
+               maxlive=%-3d est=%d@."
+              c.Pipeline.source.Loop.name c.Pipeline.unroll_factor
+              c.Pipeline.schedule.Schedule.ii
+              (Schedule.stage_count c.Pipeline.schedule)
+              (Schedule.n_copies c.Pipeline.schedule)
+              (Schedule.workload_balance c.Pipeline.schedule)
+              (Vliw_sched.Regpressure.total_max_live c.Pipeline.loop.Loop.ddg
+                 ~latency:(fun i -> c.Pipeline.latencies.(i))
+                 c.Pipeline.schedule)
+              c.Pipeline.estimated_cycles;
+            if dump then
+              Format.fprintf ppf "%a@."
+                (Schedule.pp_kernel c.Pipeline.loop.Loop.ddg)
+                c.Pipeline.schedule)
+          (E.Context.compiled ctx bench spec)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc)
+    Term.(const run $ bench_arg $ heuristic_arg $ strategy_arg $ dump_arg)
+
+(* ----------------------------------------------------------------- run *)
+
+let arch_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("interleaved", Vliw_sim.Machine.Word_interleaved { attraction_buffers = false });
+             ("interleaved+ab", Vliw_sim.Machine.Word_interleaved { attraction_buffers = true });
+             ("multivliw", Vliw_sim.Machine.Multivliw);
+             ("unified1", Vliw_sim.Machine.Unified { slow = false });
+             ("unified5", Vliw_sim.Machine.Unified { slow = true });
+           ])
+        (Vliw_sim.Machine.Word_interleaved { attraction_buffers = true })
+    & info [ "arch" ] ~docv:"ARCH"
+        ~doc:
+          "Memory system: interleaved, interleaved+ab, multivliw, unified1 \
+           or unified5.")
+
+let run_cmd =
+  let doc = "Simulate a benchmark and print its execution statistics." in
+  let run name heuristic strategy arch =
+    match find_bench name with
+    | Error e -> prerr_endline e; exit 2
+    | Ok bench ->
+        let ctx = E.Context.create () in
+        let target =
+          match arch with
+          | Vliw_sim.Machine.Unified { slow } ->
+              { E.Context.target = Pipeline.Unified { slow };
+                strategy; aligned = true }
+          | Vliw_sim.Machine.Multivliw ->
+              { E.Context.target = Pipeline.Multivliw; strategy;
+                aligned = true }
+          | Vliw_sim.Machine.Word_interleaved _ ->
+              E.Context.interleaved ~strategy heuristic
+        in
+        let stats = E.Context.run ctx bench target ~arch () in
+        Format.fprintf ppf "%s on %s:@.%a@.local-hit ratio: %.3f@."
+          bench.WL.Benchspec.name
+          (Vliw_sim.Machine.arch_to_string arch)
+          Stats.pp stats (Stats.local_hit_ratio stats)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bench_arg $ heuristic_arg $ strategy_arg $ arch_arg)
+
+(* ----------------------------------------------------------------- dot *)
+
+let dot_cmd =
+  let doc =
+    "Emit a Graphviz rendering of one compiled loop's DDG, nodes coloured \
+     by assigned cluster."
+  in
+  let loop_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"LOOP" ~doc:"Loop name (see $(b,compile)).")
+  in
+  let run name loop_name heuristic strategy =
+    match find_bench name with
+    | Error e -> prerr_endline e; exit 2
+    | Ok bench -> (
+        let ctx = E.Context.create () in
+        let spec = E.Context.interleaved ~strategy heuristic in
+        match
+          List.find_opt
+            (fun (c : Pipeline.compiled) ->
+              c.Pipeline.source.Loop.name = loop_name)
+            (E.Context.compiled ctx bench spec)
+        with
+        | None ->
+            Printf.eprintf "no loop %S in %s\n" loop_name name;
+            exit 2
+        | Some c ->
+            Vliw_ir.Dot.scheduled ppf c.Pipeline.loop.Loop.ddg
+              ~cluster:(fun v -> c.Pipeline.schedule.Schedule.cluster.(v)))
+  in
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(const run $ bench_arg $ loop_arg $ heuristic_arg $ strategy_arg)
+
+(* ---------------------------------------------------------------- main *)
+
+let () =
+  let doc =
+    "Reproduction of 'Effective Instruction Scheduling Techniques for an \
+     Interleaved Cache Clustered VLIW Processor' (MICRO-35, 2002)."
+  in
+  let info = Cmd.info "vliw-repro" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; config_cmd; experiment_cmd; compile_cmd; run_cmd;
+            dot_cmd;
+          ]))

@@ -1,0 +1,45 @@
+(* IBC vs IPBC on the jpegenc "loop 67" scenario (Section 5.3).
+
+     dune exec examples/heuristic_duel.exe
+
+   The paper's example: IBC schedules the loop with a tighter II (it
+   minimizes register-to-register communication), while IPBC pays extra
+   copies to put every memory instruction in its preferred cluster — and
+   gets the lower stall time in exchange.  Attraction Buffers then let
+   IBC keep its compute advantage while fixing most of its stall. *)
+
+module Loop = Vliw_ir.Loop
+module Pipeline = Vliw_core.Pipeline
+module Schedule = Vliw_sched.Schedule
+module Machine = Vliw_sim.Machine
+module Stats = Vliw_sim.Stats
+module Context = Vliw_experiments.Context
+module WL = Vliw_workloads
+
+let () =
+  let ctx = Context.create () in
+  let bench = WL.Mediabench.find "jpegenc" in
+  let describe label spec =
+    Format.printf "%s:@." label;
+    List.iter
+      (fun (c : Pipeline.compiled) ->
+        Format.printf "  %-8s UF=%-2d II=%-3d copies=%-3d balance=%.2f@."
+          c.Pipeline.source.Loop.name c.Pipeline.unroll_factor
+          c.Pipeline.schedule.Schedule.ii
+          (Schedule.n_copies c.Pipeline.schedule)
+          (Schedule.workload_balance c.Pipeline.schedule))
+      (Context.compiled ctx bench spec);
+    List.iter
+      (fun (arch, aname) ->
+        let s = Context.run ctx bench spec ~arch () in
+        Format.printf "  on %-16s compute=%-7d stall=%-6d local-hit=%.2f@."
+          aname (Stats.compute_cycles s) (Stats.stall_cycles s)
+          (Stats.local_hit_ratio s))
+      [
+        (Machine.Word_interleaved { attraction_buffers = false }, "interleaved");
+        (Machine.Word_interleaved { attraction_buffers = true }, "interleaved+AB");
+      ]
+  in
+  describe "IBC (build chains while scheduling)" (Context.interleaved `Ibc);
+  describe "IPBC (pre-build chains, preferred clusters)"
+    (Context.interleaved `Ipbc)

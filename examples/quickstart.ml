@@ -1,0 +1,80 @@
+(* Quickstart: build a loop, compile it for the interleaved-cache
+   clustered VLIW, and simulate it.
+
+     dune exec examples/quickstart.exe
+
+   The loop is the paper's introductory example:
+
+     for (i = 0; i < MAX; i++) {
+       ld  r3, a[i]
+       r4 = computations on r3
+       st  r4, b[i]
+     }
+
+   With a 4-cluster machine and 4-byte interleaving, 3 of every 4
+   accesses are remote unless the loop is unrolled; the pipeline unrolls
+   it by N x I / stride = 4 and every memory operation becomes
+   single-cluster. *)
+
+module Builder = Vliw_ir.Builder
+module Mem_access = Vliw_ir.Mem_access
+module Opcode = Vliw_ir.Opcode
+module Loop = Vliw_ir.Loop
+module Config = Vliw_arch.Config
+module Pipeline = Vliw_core.Pipeline
+module Schedule = Vliw_sched.Schedule
+module WL = Vliw_workloads
+
+let build_loop () =
+  let b = Builder.create () in
+  let access symbol =
+    Mem_access.make ~storage:Mem_access.Heap ~symbol ~stride:4 ~granularity:4
+      ~footprint:2048 ()
+  in
+  let load = Builder.add b ~dests:[ 0 ] ~mem:(access "a") Opcode.Load in
+  let c1 = Builder.add b ~dests:[ 1 ] ~srcs:[ 0 ] Opcode.Int_alu in
+  let c2 = Builder.add b ~dests:[ 2 ] ~srcs:[ 1 ] Opcode.Int_mul in
+  let store = Builder.add b ~srcs:[ 2 ] ~mem:(access "b") Opcode.Store in
+  Builder.flow b load c1;
+  Builder.flow b c1 c2;
+  Builder.flow b c2 store;
+  Loop.make ~name:"quickstart" ~trip_count:1600 (Builder.build b)
+
+let () =
+  let cfg = Config.default in
+  let loop = build_loop () in
+
+  (* The "profile run": measure hit rates and per-cluster access
+     distributions on the profile data set. *)
+  let profile_layout =
+    WL.Layout.create cfg ~aligned:true ~run:WL.Layout.Profile_run ~seed:42
+  in
+  let profiler = WL.Profiling.profiler cfg profile_layout in
+
+  (* Compile: unroll (selective), assign latencies, order, schedule. *)
+  let compiled =
+    Pipeline.compile cfg
+      ~target:(Pipeline.Interleaved { heuristic = `Ipbc; chains = true })
+      ~strategy:Vliw_core.Unroll_select.Selective ~profiler loop
+  in
+  Format.printf "unroll factor: %d@." compiled.Pipeline.unroll_factor;
+  Format.printf "II = %d, stage count = %d, copies = %d@."
+    compiled.Pipeline.schedule.Schedule.ii
+    (Schedule.stage_count compiled.Pipeline.schedule)
+    (Schedule.n_copies compiled.Pipeline.schedule);
+
+  (* The "execution run": simulate against a different data layout. *)
+  let exec_layout =
+    WL.Layout.create cfg ~aligned:true ~run:WL.Layout.Execution_run ~seed:42
+  in
+  let machine =
+    Vliw_sim.Machine.create cfg
+      (Vliw_sim.Machine.Word_interleaved { attraction_buffers = true })
+  in
+  let addr_of =
+    WL.Layout.addr_fn exec_layout compiled.Pipeline.loop.Loop.ddg
+  in
+  let stats = Vliw_sim.Executor.run_loop cfg machine compiled ~addr_of () in
+  Format.printf "%a@." Vliw_sim.Stats.pp stats;
+  Format.printf "local-hit ratio: %.2f (unrolling made the accesses local)@."
+    (Vliw_sim.Stats.local_hit_ratio stats)

@@ -1,0 +1,20 @@
+(** Classification of memory accesses on the interleaved-cache
+    architecture (Section 3 of the paper), plus [Combined]: a request to a
+    subblock that is already in flight, which is merged with the pending
+    request instead of being issued. *)
+
+type kind = Local_hit | Remote_hit | Local_miss | Remote_miss | Combined
+
+type t = {
+  kind : kind;
+  ready_at : int;  (** absolute cycle at which the datum is available *)
+}
+
+val latency : Config.t -> kind -> int
+(** Architectural latency of a non-combined access class.
+    @raise Invalid_argument on [Combined] (its latency is the residual
+    wait of the pending request). *)
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,25 @@
+(** Attraction Buffers (Section 3 of the paper): one small set-associative
+    buffer per cluster that keeps copies of *remote* subblocks.  A remote
+    access attracts the whole subblock; later accesses by the same cluster
+    to that subblock are satisfied locally.  Coherence is the scheduler's
+    job (memory-dependent chains) plus a flush between loops. *)
+
+type t
+
+val create : Config.t -> t
+(** One buffer per cluster, [ab_entries] entries, [ab_associativity]-way. *)
+
+val holds : t -> cluster:int -> block:int -> home:int -> bool
+(** Does [cluster]'s buffer hold the subblock of [block] homed at cluster
+    [home]?  Refreshes LRU on a hit. *)
+
+val attract : t -> cluster:int -> block:int -> home:int -> unit
+(** Bring a remote subblock into [cluster]'s buffer (evicting LRU). *)
+
+val flush : t -> unit
+(** Empty every cluster's buffer (executed between loops). *)
+
+val flush_cluster : t -> int -> unit
+
+val occupancy : t -> int -> int
+(** Valid entries in one cluster's buffer. *)

@@ -1,0 +1,135 @@
+type mstate = Modified | Shared
+
+type traffic = {
+  invalidations : int;
+  cache_to_cache : int;
+  memory_fills : int;
+  snoops : int;
+}
+
+type t = {
+  cfg : Config.t;
+  caches : Set_assoc.t array;  (** per-cluster residency + LRU *)
+  states : (int, mstate) Hashtbl.t;  (** cluster * n_blocks_space + block *)
+  pending : (int, int) Hashtbl.t;  (** same key -> fill-ready cycle *)
+  mutable stats : traffic;
+}
+
+(* Key packing: blocks are unbounded, clusters are not, so the cluster is
+   the low component. *)
+let key t ~cluster ~block = (block * t.cfg.Config.n_clusters) + cluster
+
+let create (cfg : Config.t) =
+  let blocks_per_cluster =
+    cfg.Config.cache_size / cfg.Config.n_clusters / cfg.Config.block_size
+  in
+  {
+    cfg;
+    caches =
+      Array.init cfg.Config.n_clusters (fun _ ->
+          Set_assoc.create
+            ~sets:(blocks_per_cluster / cfg.Config.associativity)
+            ~ways:cfg.Config.associativity);
+    states = Hashtbl.create 256;
+    pending = Hashtbl.create 64;
+    stats = { invalidations = 0; cache_to_cache = 0; memory_fills = 0; snoops = 0 };
+  }
+
+let state_of t ~cluster ~block = Hashtbl.find_opt t.states (key t ~cluster ~block)
+
+let set_state t ~cluster ~block st =
+  Hashtbl.replace t.states (key t ~cluster ~block) st
+
+let drop_state t ~cluster ~block = Hashtbl.remove t.states (key t ~cluster ~block)
+
+let holders t ~block ~except =
+  let acc = ref [] in
+  for c = t.cfg.Config.n_clusters - 1 downto 0 do
+    if c <> except && Option.is_some (state_of t ~cluster:c ~block) then
+      acc := c :: !acc
+  done;
+  !acc
+
+let install t ~cluster ~block st =
+  (match Set_assoc.insert t.caches.(cluster) block with
+  | Some evicted -> drop_state t ~cluster ~block:evicted
+  | None -> ());
+  set_state t ~cluster ~block st
+
+let invalidate_others t ~block ~except =
+  let victims = holders t ~block ~except in
+  t.stats <-
+    {
+      t.stats with
+      invalidations = t.stats.invalidations + List.length victims;
+      snoops = t.stats.snoops + (if victims = [] then 0 else 1);
+    };
+  List.iter
+    (fun c ->
+      Set_assoc.invalidate t.caches.(c) block;
+      drop_state t ~cluster:c ~block)
+    victims
+
+let access t ~now ~cluster ~addr ~store =
+  let cfg = t.cfg in
+  let block = Config.block_of_addr cfg addr in
+  let k = key t ~cluster ~block in
+  match Hashtbl.find_opt t.pending k with
+  | Some ready when ready > now -> { Access.kind = Access.Combined; ready_at = ready }
+  | Some _ | None -> (
+      let local_state =
+        if Set_assoc.lookup t.caches.(cluster) block then
+          state_of t ~cluster ~block
+        else None
+      in
+      match local_state with
+      | Some Modified ->
+          { Access.kind = Access.Local_hit; ready_at = now + cfg.Config.lat_local_hit }
+      | Some Shared ->
+          if store then invalidate_others t ~block ~except:cluster;
+          if store then set_state t ~cluster ~block Modified;
+          { Access.kind = Access.Local_hit; ready_at = now + cfg.Config.lat_local_hit }
+      | None ->
+          let others = holders t ~block ~except:cluster in
+          if others <> [] then begin
+            (* Cache-to-cache transfer over the memory buses. *)
+            if store then invalidate_others t ~block ~except:cluster
+            else
+              List.iter
+                (fun c -> set_state t ~cluster:c ~block Shared)
+                others;
+            install t ~cluster ~block (if store then Modified else Shared);
+            t.stats <-
+              {
+                t.stats with
+                cache_to_cache = t.stats.cache_to_cache + 1;
+                snoops = t.stats.snoops + 1;
+              };
+            let ready = now + cfg.Config.lat_remote_hit in
+            Hashtbl.replace t.pending k ready;
+            { Access.kind = Access.Remote_hit; ready_at = ready }
+          end
+          else begin
+            install t ~cluster ~block (if store then Modified else Shared);
+            t.stats <-
+              {
+                t.stats with
+                memory_fills = t.stats.memory_fills + 1;
+                snoops = t.stats.snoops + 1;
+              };
+            let ready = now + cfg.Config.lat_local_miss in
+            Hashtbl.replace t.pending k ready;
+            { Access.kind = Access.Local_miss; ready_at = ready }
+          end)
+
+let end_of_loop t = Hashtbl.reset t.pending
+
+let state t ~cluster ~block =
+  if not (Set_assoc.contains t.caches.(cluster) block) then `Invalid
+  else
+    match state_of t ~cluster ~block with
+    | Some Modified -> `Modified
+    | Some Shared -> `Shared
+    | None -> `Invalid
+
+let traffic t = t.stats

@@ -1,0 +1,35 @@
+(** The multiVLIW memory system [Sánchez & González, MICRO-33]: one
+    complete cache per cluster (2KB each for the default configuration)
+    kept coherent with an MSI snoopy protocol over the memory buses.
+    Data may be replicated — the effective capacity shrinks, but accesses
+    to replicated data are local.
+
+    Classification mapping used for reporting: a local-cache hit is
+    [Local_hit]; a cache-to-cache transfer is [Remote_hit] (it costs the
+    same bus round trip); a fill from the next level is [Local_miss];
+    merged in-flight requests are [Combined]. *)
+
+type t
+
+val create : Config.t -> t
+
+val access : t -> now:int -> cluster:int -> addr:int -> store:bool -> Access.t
+
+val end_of_loop : t -> unit
+(** Forget pending-fill bookkeeping (cache contents persist; the
+    multiVLIW needs no inter-loop flush). *)
+
+val state : t -> cluster:int -> block:int -> [ `Modified | `Shared | `Invalid ]
+(** Protocol state, for tests. *)
+
+(** Protocol traffic counters — the cost side of the paper's
+    "the multiVLIW has a more complex cache and bus design" argument. *)
+type traffic = {
+  invalidations : int;  (** lines killed in other clusters by stores *)
+  cache_to_cache : int;  (** transfers served by a peer cache *)
+  memory_fills : int;  (** fills from the next memory level *)
+  snoops : int;  (** bus transactions every cache had to watch *)
+}
+
+val traffic : t -> traffic
+

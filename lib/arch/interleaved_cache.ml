@@ -1,0 +1,115 @@
+type traffic = {
+  remote_words : int;
+  block_fills : int;
+  attractions : int;
+}
+
+type t = {
+  cfg : Config.t;
+  tags : Set_assoc.t;  (** replicated tags: presence of whole blocks *)
+  ab : Attraction_buffer.t option;
+  mutable stats : traffic;
+  pending : (int, int) Hashtbl.t;
+      (** (block * n_clusters + home) -> ready cycle of the in-flight
+          request for that subblock *)
+}
+
+let create ?(with_ab = false) cfg =
+  let n_blocks = cfg.Config.cache_size / cfg.Config.block_size in
+  {
+    cfg;
+    tags =
+      Set_assoc.create
+        ~sets:(n_blocks / cfg.Config.associativity)
+        ~ways:cfg.Config.associativity;
+    ab = (if with_ab then Some (Attraction_buffer.create cfg) else None);
+    stats = { remote_words = 0; block_fills = 0; attractions = 0 };
+    pending = Hashtbl.create 64;
+  }
+
+let config t = t.cfg
+let has_ab t = Option.is_some t.ab
+
+let pending_key t ~block ~home = (block * t.cfg.Config.n_clusters) + home
+
+let pending_ready t ~now ~block ~home =
+  match Hashtbl.find_opt t.pending (pending_key t ~block ~home) with
+  | Some ready when ready > now -> Some ready
+  | Some _ | None -> None
+
+let set_pending t ~block ~home ~ready =
+  Hashtbl.replace t.pending (pending_key t ~block ~home) ready
+
+let access t ?(attract = true) ~now ~cluster ~addr ~store () =
+  let cfg = t.cfg in
+  let home = Config.cluster_of_addr cfg addr in
+  let block = Config.block_of_addr cfg addr in
+  let local = home = cluster in
+  let ab_hit =
+    (not local)
+    &&
+    match t.ab with
+    | Some ab -> Attraction_buffer.holds ab ~cluster ~block ~home
+    | None -> false
+  in
+  if ab_hit then
+    (* Satisfied from the local attraction buffer at local-hit latency.
+       A store also updates the home module; chains guarantee no other
+       cluster reads the stale home copy meanwhile, so no extra cost. *)
+    { Access.kind = Access.Local_hit; ready_at = now + cfg.Config.lat_local_hit }
+  else
+    match pending_ready t ~now ~block ~home with
+    | Some ready -> { Access.kind = Access.Combined; ready_at = ready }
+    | None ->
+        if Set_assoc.lookup t.tags block then
+          if local then
+            {
+              Access.kind = Access.Local_hit;
+              ready_at = now + cfg.Config.lat_local_hit;
+            }
+          else begin
+            let ready = now + cfg.Config.lat_remote_hit in
+            set_pending t ~block ~home ~ready;
+            t.stats <- { t.stats with remote_words = t.stats.remote_words + 1 };
+            (match t.ab with
+            | Some ab when attract && not store ->
+                Attraction_buffer.attract ab ~cluster ~block ~home;
+                t.stats <- { t.stats with attractions = t.stats.attractions + 1 }
+            | Some _ | None -> ());
+            { Access.kind = Access.Remote_hit; ready_at = ready }
+          end
+        else begin
+          (* Miss: the whole block is fetched; every subblock is in
+             flight until the fill completes. *)
+          ignore (Set_assoc.insert t.tags block);
+          t.stats <-
+            {
+              t.stats with
+              block_fills = t.stats.block_fills + 1;
+              remote_words =
+                (t.stats.remote_words + if local then 0 else 1);
+            };
+          let lat =
+            if local then cfg.Config.lat_local_miss
+            else cfg.Config.lat_remote_miss
+          in
+          let ready = now + lat in
+          for m = 0 to cfg.Config.n_clusters - 1 do
+            set_pending t ~block ~home:m ~ready
+          done;
+          let kind =
+            if local then Access.Local_miss else Access.Remote_miss
+          in
+          { Access.kind; ready_at = ready }
+        end
+
+let end_of_loop t =
+  Hashtbl.reset t.pending;
+  match t.ab with Some ab -> Attraction_buffer.flush ab | None -> ()
+
+let ab_occupancy t c =
+  match t.ab with Some ab -> Attraction_buffer.occupancy ab c | None -> 0
+
+let resident t ~block = Set_assoc.contains t.tags block
+
+let traffic t = t.stats

@@ -1,0 +1,37 @@
+type t = {
+  cfg : Config.t;
+  tags : Set_assoc.t;
+  hit_lat : int;
+  pending : (int, int) Hashtbl.t;  (** block -> fill-ready cycle *)
+}
+
+let create ~slow (cfg : Config.t) =
+  let n_blocks = cfg.Config.cache_size / cfg.Config.block_size in
+  {
+    cfg;
+    tags =
+      Set_assoc.create
+        ~sets:(n_blocks / cfg.Config.associativity)
+        ~ways:cfg.Config.associativity;
+    hit_lat =
+      (if slow then cfg.Config.lat_unified_slow else cfg.Config.lat_unified_fast);
+    pending = Hashtbl.create 64;
+  }
+
+let hit_latency t = t.hit_lat
+
+let access t ~now ~addr =
+  let block = Config.block_of_addr t.cfg addr in
+  match Hashtbl.find_opt t.pending block with
+  | Some ready when ready > now -> { Access.kind = Access.Combined; ready_at = ready }
+  | Some _ | None ->
+      if Set_assoc.lookup t.tags block then
+        { Access.kind = Access.Local_hit; ready_at = now + t.hit_lat }
+      else begin
+        ignore (Set_assoc.insert t.tags block);
+        let ready = now + t.hit_lat + t.cfg.Config.lat_next_level in
+        Hashtbl.replace t.pending block ready;
+        { Access.kind = Access.Local_miss; ready_at = ready }
+      end
+
+let end_of_loop t = Hashtbl.reset t.pending

@@ -1,0 +1,48 @@
+module Ddg = Vliw_ir.Ddg
+module Edge = Vliw_ir.Edge
+module Operation = Vliw_ir.Operation
+
+type t = { chain : int array; groups : int list array }
+
+(* Union-find over operation ids, restricted to memory operations. *)
+let build ddg =
+  let n = Ddg.n_ops ddg in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  List.iter
+    (fun (e : Edge.t) -> if Edge.is_memory_kind e.kind then union e.src e.dst)
+    (Ddg.edges ddg);
+  let chain = Array.make n (-1) in
+  let root_to_chain = Hashtbl.create 16 in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if Operation.is_memory (Ddg.op ddg i) then begin
+      let r = find i in
+      let c =
+        match Hashtbl.find_opt root_to_chain r with
+        | Some c -> c
+        | None ->
+            let c = !next in
+            incr next;
+            Hashtbl.add root_to_chain r c;
+            c
+      in
+      chain.(i) <- c
+    end
+  done;
+  let groups = Array.make !next [] in
+  for i = n - 1 downto 0 do
+    let c = chain.(i) in
+    if c >= 0 then groups.(c) <- i :: groups.(c)
+  done;
+  { chain; groups }
+
+let chain_of t i = if t.chain.(i) < 0 then None else Some t.chain.(i)
+let chains t = Array.to_list t.groups
+let members t c = t.groups.(c)
+let n_chains t = Array.length t.groups
+let longest t = Array.fold_left (fun acc g -> max acc (List.length g)) 0 t.groups

@@ -1,0 +1,27 @@
+(** Memory-dependent chains (Section 4.3.2 of the paper).
+
+    A chain is a connected component of the undirected graph whose
+    vertices are the loop's memory operations and whose edges are the
+    memory-dependence edges (true dependences *and* the conservative
+    edges added when disambiguation fails).  All operations of a chain
+    must be scheduled in the same cluster: the hardware serializes memory
+    accesses within a cluster, which is what guarantees correctness. *)
+
+type t
+
+val build : Vliw_ir.Ddg.t -> t
+
+val chain_of : t -> int -> int option
+(** Chain index of a memory operation; [None] for non-memory ops. *)
+
+val chains : t -> int list list
+(** All chains (including singletons), each a list of operation ids. *)
+
+val members : t -> int -> int list
+(** Operations of one chain. *)
+
+val n_chains : t -> int
+
+val longest : t -> int
+(** Size of the largest chain (unrolling makes chains longer — one of
+    the paper's reasons for *selective* unrolling). *)

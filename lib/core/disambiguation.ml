@@ -1,0 +1,90 @@
+module Ddg = Vliw_ir.Ddg
+module Edge = Vliw_ir.Edge
+module Mem_access = Vliw_ir.Mem_access
+module Operation = Vliw_ir.Operation
+
+(* Dependence between two accesses of the same symbol.  [a] is the
+   earlier operation in program order. *)
+let analyse (a : Mem_access.t) (b : Mem_access.t) =
+  if a.Mem_access.symbol <> b.Mem_access.symbol then `Independent
+  else if a.Mem_access.indirect || b.Mem_access.indirect then `Unresolved
+  else if a.Mem_access.stride <> b.Mem_access.stride then `Unresolved
+  else if a.Mem_access.stride = 0 then
+    (* Two scalars: conflict iff their element ranges overlap. *)
+    if
+      a.Mem_access.offset < b.Mem_access.offset + b.Mem_access.granularity
+      && b.Mem_access.offset < a.Mem_access.offset + a.Mem_access.granularity
+    then `Conflict 0
+    else `Independent
+  else begin
+    let s = a.Mem_access.stride in
+    let delta = b.Mem_access.offset - a.Mem_access.offset in
+    (* a at iteration i+d touches b's iteration-i element when
+       o_a + s*(i+d) = o_b + s*i, i.e. s*d = delta. *)
+    if delta mod s = 0 then `Conflict (delta / s)
+    else if
+      (* Unequal phases can still overlap when elements are wider than
+         the phase gap. *)
+      abs (delta mod s) < max a.Mem_access.granularity b.Mem_access.granularity
+    then `Unresolved
+    else `Independent
+  end
+
+let kind_of ~first_is_store ~second_is_store =
+  match (first_is_store, second_is_store) with
+  | true, false -> Edge.Mem_flow
+  | false, true -> Edge.Mem_anti
+  | true, true -> Edge.Mem_out
+  | false, false -> assert false
+
+let dependences ddg =
+  let mem_ops = Ddg.memory_ops ddg in
+  let already_connected a b =
+    List.exists
+      (fun (e : Edge.t) -> Edge.is_memory_kind e.kind && e.dst = b)
+      (Ddg.succs ddg a)
+    || List.exists
+         (fun (e : Edge.t) -> Edge.is_memory_kind e.kind && e.dst = a)
+         (Ddg.succs ddg b)
+  in
+  let edges = ref [] in
+  let add e = edges := e :: !edges in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter
+          (fun b ->
+            (* a < b: a is earlier in program order. *)
+            let oa = Ddg.op ddg a and ob = Ddg.op ddg b in
+            let sa = Operation.is_store oa and sb = Operation.is_store ob in
+            if (sa || sb) && not (already_connected a b) then
+              let ma = Option.get oa.Operation.mem
+              and mb = Option.get ob.Operation.mem in
+              match analyse ma mb with
+              | `Independent -> ()
+              | `Unresolved ->
+                  add (Edge.make ~kind:Edge.Mem_unresolved ~src:a ~dst:b ())
+              | `Conflict d ->
+                  (* d > 0: the later iteration of [a] touches [b]'s
+                     element -> loop-carried b -> a; d <= 0: a -> b with
+                     distance -d. *)
+                  if d > 0 then
+                    add
+                      (Edge.make
+                         ~kind:(kind_of ~first_is_store:sb ~second_is_store:sa)
+                         ~distance:d ~src:b ~dst:a ())
+                  else
+                    add
+                      (Edge.make
+                         ~kind:(kind_of ~first_is_store:sa ~second_is_store:sb)
+                         ~distance:(-d) ~src:a ~dst:b ()))
+          rest;
+        pairs rest
+  in
+  pairs mem_ops;
+  List.rev !edges
+
+let augment ddg =
+  match dependences ddg with
+  | [] -> ddg
+  | extra -> Ddg.make (Ddg.ops ddg) (Ddg.edges ddg @ extra)

@@ -1,0 +1,28 @@
+(** Compile-time memory disambiguation.
+
+    The paper relies on IMPACT's memory disambiguation [Cheng 2000] to
+    produce the memory-dependence edges its chains are built from; this
+    module is the equivalent substrate for our IR.  For every pair of
+    memory operations where at least one is a store:
+
+    - different symbols never alias (symbols are distinct objects);
+    - equal-stride direct accesses alias iff their offset difference is a
+      multiple of the stride (the dependence distance) and, when it is
+      not, they provably never conflict — no edge;
+    - unequal strides, zero strides with overlapping element ranges, and
+      indirect accesses on the same symbol cannot be disambiguated: a
+      conservative [Mem_unresolved] edge is added, exactly the paper's
+      "when the compiler is not able to disambiguate memory references
+      it always stays on the conservative side".
+
+    True dependences get their precise kind: store->load [Mem_flow],
+    load->store [Mem_anti], store->store [Mem_out], directed from the
+    earlier operation (program order = operation id) with the computed
+    iteration distance. *)
+
+val dependences : Vliw_ir.Ddg.t -> Vliw_ir.Edge.t list
+(** The memory-dependence edges implied by the access descriptors
+    (excluding pairs already connected by an explicit memory edge). *)
+
+val augment : Vliw_ir.Ddg.t -> Vliw_ir.Ddg.t
+(** The same DDG with {!dependences} added. *)

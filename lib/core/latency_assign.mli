@@ -1,0 +1,57 @@
+(** Latency assignment for memory instructions (Section 4.3.1, Step 2).
+
+    Every load starts at the largest latency (remote miss — or plain miss
+    for the two-level BASE variant).  Then, one recurrence at a time
+    (most II-constraining first), latencies of selectively chosen loads
+    are lowered so that the recurrence no longer constrains the loop
+    beyond its MII.  Each candidate change is scored with the benefit
+    function  B = (oldII - newII) / (newSTALL - oldSTALL), where the
+    stall estimates come from the profiled hit rate and local-access
+    ratio.  Once a recurrence reaches the MII, remaining slack is given
+    back to the last-changed instruction (its latency is raised until the
+    recurrence II equals the MII exactly).
+
+    Stores always keep their 1-cycle latency, as in the paper. *)
+
+type mode =
+  | Two_level of { hit : int; miss : int }
+      (** BASE algorithm for a unified cache (also used for the
+          multiVLIW, which has no remote *word* accesses) *)
+  | Four_level
+      (** interleaved cache: local/remote x hit/miss latencies from the
+          configuration *)
+
+val levels : Vliw_arch.Config.t -> mode -> int list
+(** The latency ladder, descending (largest first). *)
+
+val expected_stall :
+  Vliw_arch.Config.t -> mode:mode -> Profile.op_profile -> lat:int -> float
+(** E[max 0 (actual - lat)] over the access classes — the paper's
+    newSTALL/oldSTALL estimate (reproduces the worked example's table). *)
+
+val benefit :
+  Vliw_arch.Config.t ->
+  Vliw_ir.Ddg.t ->
+  mode:mode ->
+  profile:Profile.t ->
+  latencies:int array ->
+  recurrence:int list ->
+  op:int ->
+  to_lat:int ->
+  float * float
+(** [(delta_ii, delta_stall)] of lowering [op] to [to_lat] within
+    [recurrence]; B is their ratio (infinite on a zero denominator). *)
+
+val assign :
+  Vliw_arch.Config.t ->
+  Vliw_ir.Ddg.t ->
+  mode:mode ->
+  profile:Profile.t ->
+  int array
+(** The assigned latency of every operation (non-memory operations keep
+    their opcode latency). *)
+
+val target_mii :
+  Vliw_arch.Config.t -> Vliw_ir.Ddg.t -> mode:mode -> int
+(** The loop MII if every load had the smallest latency of the ladder —
+    the fixed point the reduction aims for. *)

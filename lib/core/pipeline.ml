@@ -1,0 +1,123 @@
+module Config = Vliw_arch.Config
+module Loop = Vliw_ir.Loop
+module Engine = Vliw_sched.Engine
+module Schedule = Vliw_sched.Schedule
+
+type target =
+  | Interleaved of { heuristic : [ `Ibc | `Ipbc ]; chains : bool }
+  | Unified of { slow : bool }
+  | Multivliw
+
+type compiled = {
+  source : Loop.t;
+  target : target;
+  unroll_factor : int;
+  loop : Loop.t;
+  profile : Profile.t;
+  latencies : int array;
+  chains : Chains.t;
+  schedule : Schedule.t;
+  estimated_cycles : int;
+}
+
+exception Scheduling_failed of string
+
+let mode_of_target (cfg : Config.t) = function
+  | Interleaved _ -> Latency_assign.Four_level
+  | Unified { slow } ->
+      let hit =
+        if slow then cfg.Config.lat_unified_slow else cfg.Config.lat_unified_fast
+      in
+      Latency_assign.Two_level { hit; miss = hit + cfg.Config.lat_next_level }
+  | Multivliw ->
+      Latency_assign.Two_level
+        { hit = cfg.Config.lat_local_hit; miss = cfg.Config.lat_local_miss }
+
+let allow_cross_cluster_mem = function
+  | Interleaved { chains; _ } -> not chains
+  | Unified _ | Multivliw -> true
+
+let target_to_string = function
+  | Interleaved { heuristic = `Ibc; chains = true } -> "interleaved/IBC"
+  | Interleaved { heuristic = `Ipbc; chains = true } -> "interleaved/IPBC"
+  | Interleaved { heuristic = `Ibc; chains = false } ->
+      "interleaved/IBC-nochains"
+  | Interleaved { heuristic = `Ipbc; chains = false } ->
+      "interleaved/IPBC-nochains"
+  | Unified { slow = false } -> "unified/L1"
+  | Unified { slow = true } -> "unified/L5"
+  | Multivliw -> "multiVLIW"
+
+let policy_of_target target ~chains ~profile =
+  match target with
+  | Interleaved { heuristic = `Ibc; chains = true } ->
+      Cluster_heuristic.Ibc chains
+  | Interleaved { heuristic = `Ipbc; chains = true } ->
+      Cluster_heuristic.Ipbc (chains, profile)
+  | Interleaved { heuristic = `Ipbc; chains = false } ->
+      Cluster_heuristic.Preferred_no_chains profile
+  | Multivliw ->
+      (* The paper schedules the multiVLIW with the IBC heuristic: its
+         coherence protocol makes cross-cluster memory dependences legal,
+         but keeping a chain together avoids MSI ping-pong. *)
+      Cluster_heuristic.Ibc chains
+  | Interleaved { heuristic = `Ibc; chains = false } | Unified _ ->
+      Cluster_heuristic.All_free
+
+let compile_factor cfg ~target ~profiler ~source factor =
+  let loop = Loop.unrolled source ~factor in
+  let profile = profiler loop in
+  let mode = mode_of_target cfg target in
+  let latencies =
+    Latency_assign.assign cfg loop.Loop.ddg ~mode ~profile
+  in
+  let chains = Chains.build loop.Loop.ddg in
+  let policy = policy_of_target target ~chains ~profile in
+  let hooks = Cluster_heuristic.hooks loop.Loop.ddg policy in
+  match
+    Engine.schedule cfg loop.Loop.ddg
+      ~latency:(fun i -> latencies.(i))
+      ~hooks
+      ~allow_cross_cluster_mem:(allow_cross_cluster_mem target)
+      ()
+  with
+  | None ->
+      raise
+        (Scheduling_failed
+           (Printf.sprintf "loop %s, unroll factor %d" source.Loop.name factor))
+  | Some schedule ->
+      let estimated_cycles =
+        Unroll_select.estimated_cycles ~trip_count:loop.Loop.trip_count
+          ~ii:schedule.Schedule.ii
+          ~stage_count:(Schedule.stage_count schedule)
+      in
+      {
+        source;
+        target;
+        unroll_factor = factor;
+        loop;
+        profile;
+        latencies;
+        chains;
+        schedule;
+        estimated_cycles;
+      }
+
+let compile cfg ~target ~strategy ~profiler source =
+  let base_profile = profiler source in
+  let factors =
+    Unroll_select.candidate_factors cfg source.Loop.ddg ~profile:base_profile
+      strategy
+  in
+  let candidates =
+    List.map (compile_factor cfg ~target ~profiler ~source) factors
+  in
+  match candidates with
+  | [] -> raise (Scheduling_failed source.Loop.name)
+  | first :: rest ->
+      (* Candidates come in ascending factor order; on an exact Texec tie
+         the larger factor wins — its locality is free. *)
+      List.fold_left
+        (fun best c ->
+          if c.estimated_cycles <= best.estimated_cycles then c else best)
+        first rest

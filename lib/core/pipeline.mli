@@ -1,0 +1,50 @@
+(** The complete compilation pipeline of the paper:
+    unroll -> assign latencies -> order -> assign clusters & schedule,
+    with the unrolling factor chosen by scheduling every candidate and
+    keeping the fastest estimate (selective unrolling).
+
+    The [profiler] callback stands for the profile run: given a
+    (possibly unrolled) loop it returns hit rates and per-cluster access
+    distributions measured on the *profile* data set
+    ({!Vliw_workloads.Profiling} provides it). *)
+
+type target =
+  | Interleaved of { heuristic : [ `Ibc | `Ipbc ]; chains : bool }
+      (** the word-interleaved cache processor; [chains = false] is the
+          no-chains ablation *)
+  | Unified of { slow : bool }  (** BASE algorithm, 1- or 5-cycle cache *)
+  | Multivliw  (** coherent caches, scheduled like BASE with local
+                   hit/miss latencies *)
+
+type compiled = {
+  source : Vliw_ir.Loop.t;
+  target : target;
+  unroll_factor : int;
+  loop : Vliw_ir.Loop.t;  (** the unrolled loop actually scheduled *)
+  profile : Profile.t;  (** profile of the unrolled loop's operations *)
+  latencies : int array;
+  chains : Chains.t;
+  schedule : Vliw_sched.Schedule.t;
+  estimated_cycles : int;
+}
+
+exception Scheduling_failed of string
+
+val mode_of_target : Vliw_arch.Config.t -> target -> Latency_assign.mode
+
+val allow_cross_cluster_mem : target -> bool
+(** True for architectures whose hardware orders memory accesses
+    globally (unified cache, multiVLIW coherence) and for the no-chains
+    ablation. *)
+
+val target_to_string : target -> string
+
+val compile :
+  Vliw_arch.Config.t ->
+  target:target ->
+  strategy:Unroll_select.strategy ->
+  profiler:(Vliw_ir.Loop.t -> Profile.t) ->
+  Vliw_ir.Loop.t ->
+  compiled
+(** @raise Scheduling_failed if no candidate factor schedules (does not
+    happen for well-formed loops — the engine escalates the II). *)

@@ -1,0 +1,47 @@
+type op_profile = {
+  hit_rate : float;
+  cluster_fractions : float array;
+  accesses : int;
+}
+
+type t = op_profile option array
+
+let make_op ~hit_rate ~cluster_fractions ~accesses =
+  if hit_rate < 0.0 || hit_rate > 1.0 then
+    invalid_arg "Profile.make_op: hit rate outside [0, 1]";
+  { hit_rate; cluster_fractions; accesses }
+
+let empty ~n_ops = Array.make n_ops None
+
+let preferred_cluster p =
+  let best = ref 0 in
+  Array.iteri
+    (fun i f -> if f > p.cluster_fractions.(!best) then best := i)
+    p.cluster_fractions;
+  !best
+
+let distribution p = Array.fold_left max 0.0 p.cluster_fractions
+let local_ratio = distribution
+let get (t : t) i = t.(i)
+
+let weighted_accesses (t : t) ops =
+  let n_clusters =
+    List.fold_left
+      (fun acc i ->
+        match t.(i) with
+        | Some p -> max acc (Array.length p.cluster_fractions)
+        | None -> acc)
+      1 ops
+  in
+  let totals = Array.make n_clusters 0.0 in
+  List.iter
+    (fun i ->
+      match t.(i) with
+      | Some p ->
+          Array.iteri
+            (fun c f ->
+              totals.(c) <- totals.(c) +. (f *. float_of_int p.accesses))
+            p.cluster_fractions
+      | None -> ())
+    ops;
+  totals

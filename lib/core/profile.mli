@@ -1,0 +1,38 @@
+(** Profiling information for memory operations — what the paper obtains
+    by running the benchmark on the *profile data set*: hit rates and the
+    distribution of each operation's accesses over the clusters (from
+    which the preferred cluster and the local-access ratio derive). *)
+
+type op_profile = {
+  hit_rate : float;  (** profiled cache hit rate in [0, 1] *)
+  cluster_fractions : float array;
+      (** fraction of the operation's accesses homed at each cluster;
+          sums to 1 *)
+  accesses : int;  (** dynamic access count in the profile run *)
+}
+
+type t = op_profile option array
+(** Indexed by operation id; [None] for non-memory operations. *)
+
+val make_op :
+  hit_rate:float -> cluster_fractions:float array -> accesses:int -> op_profile
+(** @raise Invalid_argument if the hit rate is outside [0, 1]. *)
+
+val empty : n_ops:int -> t
+
+val preferred_cluster : op_profile -> int
+(** Cluster receiving the largest access fraction (lowest id on ties). *)
+
+val distribution : op_profile -> float
+(** The paper's "distribution of the preferred cluster information":
+    the largest per-cluster fraction — 1 when concentrated, 1/N when
+    equally spread. *)
+
+val local_ratio : op_profile -> float
+(** Expected ratio of local accesses if the operation is scheduled in its
+    preferred cluster (= {!distribution}). *)
+
+val get : t -> int -> op_profile option
+val weighted_accesses : t -> int list -> float array
+(** Sum of per-cluster access counts over a set of operations — used to
+    pick a chain's "average preferred cluster". *)

@@ -1,0 +1,50 @@
+module Config = Vliw_arch.Config
+module Ddg = Vliw_ir.Ddg
+module Mem_access = Vliw_ir.Mem_access
+module Operation = Vliw_ir.Operation
+
+type strategy = No_unrolling | Unroll_times_n | Ouf_unrolling | Selective
+
+let strategy_to_string = function
+  | No_unrolling -> "no-unroll"
+  | Unroll_times_n -> "unrollxN"
+  | Ouf_unrolling -> "OUF"
+  | Selective -> "selective"
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let individual_factor (cfg : Config.t) ~hit_rate (m : Mem_access.t) =
+  let ni = Config.max_unroll cfg in
+  if m.Mem_access.indirect || hit_rate <= 0.0
+     || m.Mem_access.granularity > cfg.Config.interleaving_factor
+  then None
+  else
+    let s = ((m.Mem_access.stride mod ni) + ni) mod ni in
+    Some (ni / gcd ni s)
+
+let ouf cfg ddg ~profile =
+  let ni = Config.max_unroll cfg in
+  let factor =
+    Array.fold_left
+      (fun acc (o : Operation.t) ->
+        match (o.Operation.mem, Profile.get profile o.Operation.id) with
+        | Some m, Some p -> (
+            match individual_factor cfg ~hit_rate:p.Profile.hit_rate m with
+            | Some u -> lcm acc u
+            | None -> acc)
+        | _ -> acc)
+      1 (Ddg.ops ddg)
+  in
+  min factor ni
+
+let candidate_factors cfg ddg ~profile strategy =
+  match strategy with
+  | No_unrolling -> [ 1 ]
+  | Unroll_times_n -> [ cfg.Config.n_clusters ]
+  | Ouf_unrolling -> [ ouf cfg ddg ~profile ]
+  | Selective ->
+      List.sort_uniq compare [ 1; cfg.Config.n_clusters; ouf cfg ddg ~profile ]
+
+let estimated_cycles ~trip_count ~ii ~stage_count =
+  (trip_count + stage_count - 1) * ii

@@ -1,0 +1,33 @@
+(** Unrolling-factor computation and selective unrolling (Section 4.3.1,
+    Step 1).
+
+    A memory instruction with known stride S (bytes), profiled hit rate
+    > 0 and granularity <= the interleaving factor gets the individual
+    factor  Ui = NI / gcd(NI, S mod NI)  with NI = clusters x interleaving;
+    the loop's optimal unrolling factor (OUF) is lcm(Ui) capped at NI.
+    After OUF unrolling every such instruction has a stride multiple of
+    NI, i.e. it accesses a single cluster in every iteration.
+
+    Selective unrolling schedules the loop with factors {1, N, OUF} and
+    keeps the one minimizing estimated execution time
+    (avg_iterations + SC - 1) x II. *)
+
+type strategy = No_unrolling | Unroll_times_n | Ouf_unrolling | Selective
+
+val strategy_to_string : strategy -> string
+
+val individual_factor :
+  Vliw_arch.Config.t -> hit_rate:float -> Vliw_ir.Mem_access.t -> int option
+(** [None] when the instruction does not qualify (indirect access, zero
+    hit rate, or granularity above the interleaving factor). *)
+
+val ouf : Vliw_arch.Config.t -> Vliw_ir.Ddg.t -> profile:Profile.t -> int
+(** lcm of the individual factors, capped at N x I; 1 if no instruction
+    qualifies. *)
+
+val candidate_factors :
+  Vliw_arch.Config.t -> Vliw_ir.Ddg.t -> profile:Profile.t -> strategy -> int list
+(** Factors the strategy considers, deduplicated, ascending. *)
+
+val estimated_cycles : trip_count:int -> ii:int -> stage_count:int -> int
+(** The paper's Texec formula for one unrolled loop body. *)

@@ -1,0 +1,9 @@
+(** Section 5.4 ablation: breaking memory-dependent chains.
+
+    epicdec is the benchmark the chains hurt most; compiling its loops
+    without chain constraints (the what-if version the paper proposes to
+    select with runtime check code) tightens the schedules, raises the
+    local-hit ratio and cuts stall time. *)
+
+val table : Context.t -> Vliw_report.Table.t
+val run : Format.formatter -> Context.t -> unit

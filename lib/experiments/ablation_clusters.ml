@@ -1,0 +1,44 @@
+module Config = Vliw_arch.Config
+module Stats = Vliw_sim.Stats
+module Table = Vliw_report.Table
+module WL = Vliw_workloads
+
+let cluster_counts = [ 2; 4; 8 ]
+
+let arch = Vliw_sim.Machine.Word_interleaved { attraction_buffers = true }
+
+let table ~seed =
+  let contexts =
+    List.map
+      (fun n ->
+        let cfg = { Config.default with Config.n_clusters = n } in
+        (match Config.validate cfg with
+        | Ok () -> ()
+        | Error e -> invalid_arg e);
+        (n, Context.create ~cfg ~seed ()))
+      cluster_counts
+  in
+  let rows =
+    List.map
+      (fun bench ->
+        ( bench.WL.Benchspec.name,
+          List.map
+            (fun (_, ctx) ->
+              float_of_int
+                (Stats.total_cycles
+                   (Context.run ctx bench (Context.interleaved `Ipbc) ~arch ())))
+            contexts ))
+      WL.Mediabench.all
+  in
+  let rows = rows @ [ Context.amean rows ] in
+  Table.make
+    ~title:"Cluster-count sweep: total cycles, IPBC + Attraction Buffers"
+    ~note:
+      "more clusters add issue/FU bandwidth but spread the cache thinner \
+       and lengthen communication"
+    ~columns:(List.map (Printf.sprintf "%d clusters") cluster_counts)
+    rows
+
+let run ppf _ctx =
+  Table.render ~precision:0 ppf (table ~seed:7);
+  Format.pp_print_newline ppf ()

@@ -1,0 +1,9 @@
+(** Scalability sweep (the introduction's motivation for fully
+    distributed designs): 2, 4 and 8 clusters, word-interleaved cache
+    with Attraction Buffers and the IPBC heuristic.  Total L1 capacity
+    and bus counts are held at the Table-2 values; only the partitioning
+    changes. *)
+
+val cluster_counts : int list
+val table : seed:int -> Vliw_report.Table.t
+val run : Format.formatter -> Context.t -> unit

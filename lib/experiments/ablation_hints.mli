@@ -1,0 +1,13 @@
+(** Section 5.2 ablation: "attractable" compiler hints.
+
+    The 19-instruction chain of epicdec's unquantize loop lands in one
+    cluster and overflows the Attraction Buffer.  Marking only the top-K
+    loads as attractable (K = buffer entries) stops the thrashing; the
+    paper reports stall reductions of 20%/32% (8-entry) and 13%/6%
+    (16-entry) in that loop for IPBC/IBC. *)
+
+val table : Context.t -> Vliw_report.Table.t
+(** Rows: heuristic x buffer size; columns: stall without/with hints for
+    the overflowing loop and for the whole benchmark. *)
+
+val run : Format.formatter -> Context.t -> unit

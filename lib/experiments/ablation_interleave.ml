@@ -1,0 +1,42 @@
+module Config = Vliw_arch.Config
+module Stats = Vliw_sim.Stats
+module Table = Vliw_report.Table
+module WL = Vliw_workloads
+
+let factors = [ 2; 4; 8 ]
+
+let arch = Vliw_sim.Machine.Word_interleaved { attraction_buffers = true }
+
+let table ~seed =
+  let contexts =
+    List.map
+      (fun i ->
+        let cfg = { Config.default with Config.interleaving_factor = i } in
+        (match Config.validate cfg with
+        | Ok () -> ()
+        | Error e -> invalid_arg e);
+        (i, Context.create ~cfg ~seed ()))
+      factors
+  in
+  let rows =
+    List.map
+      (fun bench ->
+        ( bench.WL.Benchspec.name,
+          List.map
+            (fun (_, ctx) ->
+              float_of_int
+                (Stats.total_cycles
+                   (Context.run ctx bench (Context.interleaved `Ipbc) ~arch ())))
+            contexts ))
+      WL.Mediabench.all
+  in
+  let rows = rows @ [ Context.amean rows ] in
+  Table.make
+    ~title:"Interleaving-factor sweep: total cycles, IPBC + Attraction Buffers"
+    ~note:"the gsm/g721/pegwit 2-byte benchmarks prefer 2-byte interleaving"
+    ~columns:(List.map (Printf.sprintf "I=%dB") factors)
+    rows
+
+let run ppf _ctx =
+  Table.render ~precision:0 ppf (table ~seed:7);
+  Format.pp_print_newline ppf ()

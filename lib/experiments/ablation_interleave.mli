@@ -1,0 +1,12 @@
+(** Section 5.1 discussion: the interleaving factor should match the
+    dominant access size — "if a processor is to be built for the gsm
+    family of applications, a 2-byte interleaving factor would match
+    better the applications' characteristics".  Sweeps I in {2, 4, 8}
+    bytes and reports total cycles (IPBC + Attraction Buffers). *)
+
+val factors : int list
+
+val table : seed:int -> Vliw_report.Table.t
+(** Fresh contexts per factor (the machine configuration changes). *)
+
+val run : Format.formatter -> Context.t -> unit

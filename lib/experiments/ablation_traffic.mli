@@ -1,0 +1,8 @@
+(** Memory-system traffic comparison (the hardware-complexity argument
+    of Sections 5.3/6): the word-interleaved cache moves words and block
+    fills over plain buses, while the multiVLIW pays a snoopy coherence
+    protocol — invalidations, cache-to-cache transfers and snoops on
+    every bus transaction. *)
+
+val tables : Context.t -> Vliw_report.Table.t list
+val run : Format.formatter -> Context.t -> unit

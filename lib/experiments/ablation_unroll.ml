@@ -1,0 +1,66 @@
+module Ddg = Vliw_ir.Ddg
+module Loop = Vliw_ir.Loop
+module Pipeline = Vliw_core.Pipeline
+module Schedule = Vliw_sched.Schedule
+module Table = Vliw_report.Table
+module US = Vliw_core.Unroll_select
+module WL = Vliw_workloads
+
+let strategies =
+  [
+    US.No_unrolling; US.Unroll_times_n; US.Ouf_unrolling; US.Selective;
+  ]
+
+let totals ctx bench strategy =
+  let compiled =
+    Context.compiled ctx bench (Context.interleaved ~strategy `Ipbc)
+  in
+  let cycles =
+    List.fold_left
+      (fun acc (c : Pipeline.compiled) -> acc + c.Pipeline.estimated_cycles)
+      0 compiled
+  in
+  let code =
+    List.fold_left
+      (fun acc (c : Pipeline.compiled) ->
+        acc
+        + (Ddg.n_ops c.Pipeline.loop.Loop.ddg
+           + Schedule.n_copies c.Pipeline.schedule)
+          * Schedule.stage_count c.Pipeline.schedule)
+      0 compiled
+  in
+  (cycles, code)
+
+let table_of ctx ~title pick =
+  let rows =
+    List.map
+      (fun bench ->
+        ( bench.WL.Benchspec.name,
+          List.map
+            (fun s -> float_of_int (pick (totals ctx bench s)))
+            strategies ))
+      WL.Mediabench.all
+  in
+  Table.make ~title
+    ~columns:(List.map US.strategy_to_string strategies)
+    (rows @ [ Context.amean rows ])
+
+let tables ctx =
+  [
+    table_of ctx
+      ~title:"Unrolling strategies: estimated execution cycles (IPBC)" fst;
+    table_of ctx
+      ~title:
+        "Unrolling strategies: static code size (kernel ops x stage count)"
+      snd;
+  ]
+
+let run ppf ctx =
+  List.iter
+    (fun t ->
+      Table.render ~precision:0 ppf t;
+      Format.pp_print_newline ppf ())
+    (tables ctx);
+  Format.fprintf ppf
+    "(selective unrolling matches the fastest estimate per loop while \
+     OUF maximizes locality at a code-size cost)@.@."

@@ -1,0 +1,8 @@
+(** The four unrolling options of Section 5.1 — no unrolling, unroll x N,
+    OUF unrolling, and selective unrolling — compared on estimated
+    execution cycles and static code size (kernel operations times stage
+    count, the prologue/epilogue cost the paper cites as a reason for
+    *selective* unrolling). *)
+
+val tables : Context.t -> Vliw_report.Table.t list
+val run : Format.formatter -> Context.t -> unit

@@ -1,0 +1,127 @@
+module Config = Vliw_arch.Config
+module Loop = Vliw_ir.Loop
+module Pipeline = Vliw_core.Pipeline
+module Unroll_select = Vliw_core.Unroll_select
+module Schedule = Vliw_sched.Schedule
+module WL = Vliw_workloads
+module Sim = Vliw_sim
+
+type t = {
+  cfg : Config.t;
+  seed : int;
+  cache : (string, Pipeline.compiled list) Hashtbl.t;
+}
+
+let create ?(cfg = Config.default) ?(seed = 7) () =
+  { cfg; seed; cache = Hashtbl.create 64 }
+
+let cfg t = t.cfg
+
+type spec = {
+  target : Pipeline.target;
+  strategy : Unroll_select.strategy;
+  aligned : bool;
+}
+
+let interleaved ?(chains = true) ?(strategy = Unroll_select.Selective)
+    ?(aligned = true) heuristic =
+  { target = Pipeline.Interleaved { heuristic; chains }; strategy; aligned }
+
+let cache_key bench spec =
+  Printf.sprintf "%s|%s|%s|%b" bench.WL.Benchspec.name
+    (Pipeline.target_to_string spec.target)
+    (Unroll_select.strategy_to_string spec.strategy)
+    spec.aligned
+
+let compiled t bench spec =
+  let key = cache_key bench spec in
+  match Hashtbl.find_opt t.cache key with
+  | Some cs -> cs
+  | None ->
+      let layout =
+        WL.Layout.create t.cfg ~aligned:spec.aligned ~run:WL.Layout.Profile_run
+          ~seed:t.seed
+      in
+      let profiler = WL.Profiling.profiler t.cfg layout in
+      let cs =
+        List.map
+          (Pipeline.compile t.cfg ~target:spec.target ~strategy:spec.strategy
+             ~profiler)
+          (WL.Benchspec.loops bench)
+      in
+      Hashtbl.replace t.cache key cs;
+      cs
+
+let run_loops_on t bench spec ~machine ~cfg ?(hints = false) () =
+  let exec_layout =
+    WL.Layout.create cfg ~aligned:spec.aligned ~run:WL.Layout.Execution_run
+      ~seed:t.seed
+  in
+  List.map
+    (fun (c : Pipeline.compiled) ->
+      let ddg = c.Pipeline.loop.Loop.ddg in
+      let addr_of = WL.Layout.addr_fn exec_layout ddg in
+      let attractable =
+        if hints then
+          Some
+            (Vliw_core.Hints.attractable cfg ddg ~profile:c.Pipeline.profile
+               ~schedule:c.Pipeline.schedule ())
+        else None
+      in
+      (c, Sim.Executor.run_loop cfg machine c ~addr_of ?attractable ()))
+    (compiled t bench spec)
+
+let effective_cfg t ab_entries =
+  match ab_entries with
+  | None -> t.cfg
+  | Some n -> { t.cfg with Config.ab_entries = n }
+
+let run_loops t bench spec ~arch ?ab_entries ?hints () =
+  let cfg = effective_cfg t ab_entries in
+  let machine = Sim.Machine.create cfg arch in
+  run_loops_on t bench spec ~machine ~cfg ?hints ()
+
+let run t bench spec ~arch ?ab_entries ?hints () =
+  let agg = Sim.Stats.create () in
+  List.iter
+    (fun (_, s) -> Sim.Stats.accumulate ~into:agg s)
+    (run_loops t bench spec ~arch ?ab_entries ?hints ());
+  agg
+
+let run_traffic t bench spec ~arch () =
+  let cfg = effective_cfg t None in
+  let machine = Sim.Machine.create cfg arch in
+  let agg = Sim.Stats.create () in
+  List.iter
+    (fun (_, s) -> Sim.Stats.accumulate ~into:agg s)
+    (run_loops_on t bench spec ~machine ~cfg ());
+  (agg, Sim.Machine.traffic_summary machine)
+
+let weighted_balance cs =
+  let total_w =
+    List.fold_left
+      (fun acc (c : Pipeline.compiled) -> acc +. c.Pipeline.loop.Loop.weight)
+      0.0 cs
+  in
+  let sum =
+    List.fold_left
+      (fun acc (c : Pipeline.compiled) ->
+        acc
+        +. (c.Pipeline.loop.Loop.weight
+           *. Schedule.workload_balance c.Pipeline.schedule))
+      0.0 cs
+  in
+  if total_w = 0.0 then 0.0 else sum /. total_w
+
+let amean rows =
+  match rows with
+  | [] -> ("AMEAN", [])
+  | (_, first) :: _ ->
+      let n = List.length rows in
+      let sums = Array.make (List.length first) 0.0 in
+      List.iter
+        (fun (_, values) ->
+          List.iteri (fun i v -> sums.(i) <- sums.(i) +. v) values)
+        rows;
+      ( "AMEAN",
+        Array.to_list (Array.map (fun s -> s /. float_of_int n) sums) )

@@ -1,0 +1,70 @@
+(** Shared machinery for the experiment drivers: compilation caching and
+    the benchmark -> statistics runner.
+
+    Every figure reuses compilations of the same (benchmark, target,
+    unroll strategy, alignment) combination, so compiled loops are
+    memoized per context. *)
+
+type t
+
+val create : ?cfg:Vliw_arch.Config.t -> ?seed:int -> unit -> t
+val cfg : t -> Vliw_arch.Config.t
+
+type spec = {
+  target : Vliw_core.Pipeline.target;
+  strategy : Vliw_core.Unroll_select.strategy;
+  aligned : bool;
+}
+
+val interleaved :
+  ?chains:bool ->
+  ?strategy:Vliw_core.Unroll_select.strategy ->
+  ?aligned:bool ->
+  [ `Ibc | `Ipbc ] ->
+  spec
+(** Convenience constructor; defaults: chains on, selective unrolling,
+    alignment on. *)
+
+val compiled : t -> Vliw_workloads.Benchspec.t -> spec -> Vliw_core.Pipeline.compiled list
+(** Compile (or fetch from cache) every loop of the benchmark. *)
+
+val run :
+  t ->
+  Vliw_workloads.Benchspec.t ->
+  spec ->
+  arch:Vliw_sim.Machine.arch ->
+  ?ab_entries:int ->
+  ?hints:bool ->
+  unit ->
+  Vliw_sim.Stats.t
+(** Compile and execute the whole benchmark on one memory system,
+    aggregating loop statistics.  [ab_entries] overrides the
+    attraction-buffer capacity; [hints] enables the compiler's
+    "attractable" marking with K = buffer entries (Section 5.2). *)
+
+val run_loops :
+  t ->
+  Vliw_workloads.Benchspec.t ->
+  spec ->
+  arch:Vliw_sim.Machine.arch ->
+  ?ab_entries:int ->
+  ?hints:bool ->
+  unit ->
+  (Vliw_core.Pipeline.compiled * Vliw_sim.Stats.t) list
+(** Per-loop variant of {!run} (used by the per-loop ablations). *)
+
+val run_traffic :
+  t ->
+  Vliw_workloads.Benchspec.t ->
+  spec ->
+  arch:Vliw_sim.Machine.arch ->
+  unit ->
+  Vliw_sim.Stats.t * (string * int) list
+(** Like {!run}, also returning the memory system's traffic counters. *)
+
+val weighted_balance : Vliw_core.Pipeline.compiled list -> float
+(** Loop-weight-weighted mean of the schedules' workload balance — the
+    paper's per-benchmark WB. *)
+
+val amean : (string * float list) list -> string * float list
+(** Arithmetic-mean row over the given rows. *)

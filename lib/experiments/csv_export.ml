@@ -1,0 +1,54 @@
+module Table = Vliw_report.Table
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> c
+      | 'A' .. 'Z' -> Char.lowercase_ascii c
+      | _ -> '-')
+    title
+  |> fun s ->
+  (* squeeze dashes and trim *)
+  let buf = Buffer.create (String.length s) in
+  let last_dash = ref true in
+  String.iter
+    (fun c ->
+      if c = '-' then begin
+        if not !last_dash then Buffer.add_char buf '-';
+        last_dash := true
+      end
+      else begin
+        Buffer.add_char buf c;
+        last_dash := false
+      end)
+    s;
+  let s = Buffer.contents buf in
+  let s = if String.length s > 60 then String.sub s 0 60 else s in
+  if String.length s > 0 && s.[String.length s - 1] = '-' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let all_tables ctx =
+  Fig4.tables ctx @ Fig5.tables ctx @ Fig6.tables ctx
+  @ [ Fig7.table ctx ]
+  @ Fig8.tables ctx
+  @ [ Ablation_interleave.table ~seed:7; Ablation_clusters.table ~seed:7 ]
+
+let export ~dir ctx =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun t ->
+      let path = Filename.concat dir (slug (Table.title t) ^ ".csv") in
+      let oc = open_out path in
+      let ppf = Format.formatter_of_out_channel oc in
+      Table.render_csv ppf t;
+      Format.pp_print_flush ppf ();
+      close_out oc;
+      path)
+    (all_tables ctx)
+
+let run ppf ctx =
+  let paths = export ~dir:"results" ctx in
+  Format.fprintf ppf "wrote %d CSV files:@." (List.length paths);
+  List.iter (fun p -> Format.fprintf ppf "  %s@." p) paths

@@ -1,0 +1,50 @@
+module Stats = Vliw_sim.Stats
+module Table = Vliw_report.Table
+module WL = Vliw_workloads
+
+let arch = Vliw_sim.Machine.Word_interleaved { attraction_buffers = false }
+
+let factor_fractions stats =
+  let total =
+    List.fold_left
+      (fun acc f -> acc + Stats.factor_count stats f)
+      0 Stats.all_factors
+  in
+  List.map
+    (fun f ->
+      float_of_int (Stats.factor_count stats f) /. float_of_int (max 1 total))
+    Stats.all_factors
+
+let table_for ctx label spec =
+  let rows =
+    List.filter_map
+      (fun bench ->
+        let s = Context.run ctx bench spec ~arch () in
+        (* The paper drops benchmarks whose remote-hit stall is
+           negligible from this figure. *)
+        if Stats.stall_of s Vliw_arch.Access.Remote_hit = 0 then None
+        else Some (bench.WL.Benchspec.name, factor_fractions s))
+      WL.Mediabench.all
+  in
+  Table.make
+    ~title:
+      (Printf.sprintf
+         "Figure 5 [%s]: stalling remote hits by factor (shares of factor \
+          counts)"
+         label)
+    ~note:"factors are not mutually exclusive"
+    ~columns:(List.map Stats.factor_to_string Stats.all_factors)
+    rows
+
+let tables ctx =
+  [
+    table_for ctx "IBC" (Context.interleaved `Ibc);
+    table_for ctx "IPBC" (Context.interleaved `Ipbc);
+  ]
+
+let run ppf ctx =
+  List.iter
+    (fun t ->
+      Table.render ppf t;
+      Format.pp_print_newline ppf ())
+    (tables ctx)

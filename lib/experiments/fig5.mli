@@ -1,0 +1,6 @@
+(** Figure 5: classification of the remote hits that generate stall time
+    by the paper's four (non-exclusive) factors, for IBC and IPBC with
+    selective unrolling. *)
+
+val tables : Context.t -> Vliw_report.Table.t list
+val run : Format.formatter -> Context.t -> unit

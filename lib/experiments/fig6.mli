@@ -1,0 +1,16 @@
+(** Figure 6: stall time by access class for IBC/IPBC with and without
+    Attraction Buffers, normalized per benchmark to IBC without buffers.
+    Also reports the suite-wide stall reduction the buffers bring
+    (the paper: -34% for IBC, -29% for IPBC). *)
+
+val tables : Context.t -> Vliw_report.Table.t list
+
+val ab_reduction : Context.t -> float * float
+(** (IBC, IPBC) mean relative stall reduction from Attraction Buffers
+    over benchmarks with non-zero stall. *)
+
+val remote_hit_share : Context.t -> float * float
+(** (IBC, IPBC) mean share of stall due to remote hits without buffers
+    (the paper: 76% and 72%). *)
+
+val run : Format.formatter -> Context.t -> unit

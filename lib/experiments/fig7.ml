@@ -1,0 +1,30 @@
+module Table = Vliw_report.Table
+module US = Vliw_core.Unroll_select
+module WL = Vliw_workloads
+
+let variants =
+  [
+    ("no unrolling", Context.interleaved ~strategy:US.No_unrolling `Ipbc);
+    ("OUF", Context.interleaved ~strategy:US.Ouf_unrolling `Ipbc);
+    ( "OUF no chains",
+      Context.interleaved ~chains:false ~strategy:US.Ouf_unrolling `Ipbc );
+  ]
+
+let table ctx =
+  let rows =
+    List.map
+      (fun bench ->
+        ( bench.WL.Benchspec.name,
+          List.map
+            (fun (_, spec) ->
+              Context.weighted_balance (Context.compiled ctx bench spec))
+            variants ))
+      WL.Mediabench.all
+  in
+  Table.make
+    ~title:"Figure 7: workload balance under IPBC (0.25 = perfect, 1.0 = worst)"
+    ~columns:(List.map fst variants) rows
+
+let run ppf ctx =
+  Table.render ppf (table ctx);
+  Format.pp_print_newline ppf ()

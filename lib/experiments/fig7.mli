@@ -1,0 +1,6 @@
+(** Figure 7: workload balance for IPBC with (i) no unrolling, (ii) OUF
+    unrolling, and (iii) OUF unrolling without memory-dependent chains.
+    0.25 is perfect balance on four clusters; 1.0 fully unbalanced. *)
+
+val table : Context.t -> Vliw_report.Table.t
+val run : Format.formatter -> Context.t -> unit

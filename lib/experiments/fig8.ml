@@ -1,0 +1,110 @@
+module Pipeline = Vliw_core.Pipeline
+module Stats = Vliw_sim.Stats
+module Machine = Vliw_sim.Machine
+module Table = Vliw_report.Table
+module US = Vliw_core.Unroll_select
+module WL = Vliw_workloads
+
+let with_ab = Machine.Word_interleaved { attraction_buffers = true }
+
+let configurations =
+  [
+    ("IPBC", Context.interleaved `Ipbc, with_ab);
+    ("IBC", Context.interleaved `Ibc, with_ab);
+    ( "MultiVLIW",
+      { Context.target = Pipeline.Multivliw; strategy = US.Selective;
+        aligned = true },
+      Machine.Multivliw );
+    ( "Unified(L=5)",
+      { Context.target = Pipeline.Unified { slow = true };
+        strategy = US.Selective; aligned = true },
+      Machine.Unified { slow = true } );
+  ]
+
+let baseline =
+  ( { Context.target = Pipeline.Unified { slow = false };
+      strategy = US.Selective; aligned = true },
+    Machine.Unified { slow = false } )
+
+let stats_of ctx bench (spec, arch) = Context.run ctx bench spec ~arch ()
+
+let tables ctx =
+  let rows_total = ref [] and rows_stall = ref [] in
+  List.iter
+    (fun bench ->
+      let base =
+        float_of_int
+          (max 1 (Stats.total_cycles (stats_of ctx bench baseline)))
+      in
+      let totals, stalls =
+        List.split
+          (List.map
+             (fun (_, spec, arch) ->
+               let s = stats_of ctx bench (spec, arch) in
+               ( float_of_int (Stats.total_cycles s) /. base,
+                 float_of_int (Stats.stall_cycles s) /. base ))
+             configurations)
+      in
+      rows_total := (bench.WL.Benchspec.name, totals) :: !rows_total;
+      rows_stall := (bench.WL.Benchspec.name, stalls) :: !rows_stall)
+    WL.Mediabench.all;
+  let columns = List.map (fun (n, _, _) -> n) configurations in
+  let finish rows = List.rev rows @ [ Context.amean (List.rev rows) ] in
+  [
+    Table.make
+      ~title:
+        "Figure 8: total cycles normalized to the unified cache with 1-cycle \
+         latency"
+      ~columns (finish !rows_total);
+    Table.make
+      ~title:"Figure 8 (stall component of the normalized cycles)"
+      ~columns (finish !rows_stall);
+  ]
+
+let headline ctx =
+  match tables ctx with
+  | total :: _ ->
+      ignore total;
+      let rows =
+        List.map
+          (fun bench ->
+            let base =
+              float_of_int
+                (max 1 (Stats.total_cycles (stats_of ctx bench baseline)))
+            in
+            ( bench.WL.Benchspec.name,
+              List.map
+                (fun (_, spec, arch) ->
+                  float_of_int (Stats.total_cycles (stats_of ctx bench (spec, arch)))
+                  /. base)
+                configurations ))
+          WL.Mediabench.all
+      in
+      let _, means = Context.amean rows in
+      List.map2 (fun (n, _, _) m -> (n, m)) configurations means
+  | [] -> []
+
+let run ppf ctx =
+  List.iter
+    (fun t ->
+      Table.render ppf t;
+      Format.pp_print_newline ppf ())
+    (tables ctx);
+  let hs = headline ctx in
+  List.iter
+    (fun (n, m) -> Format.fprintf ppf "AMEAN %-12s %.3f x Unified(L=1)@." n m)
+    hs;
+  match
+    ( List.assoc_opt "IPBC" hs, List.assoc_opt "IBC" hs,
+      List.assoc_opt "Unified(L=5)" hs, List.assoc_opt "MultiVLIW" hs )
+  with
+  | Some ipbc, Some ibc, Some u5, Some mv ->
+      Format.fprintf ppf
+        "Speedup over Unified(L=5): IPBC %+.0f%% (paper: +5%%), IBC %+.0f%% \
+         (paper: +10%%)@.Cycle-count vs multiVLIW: IPBC %+.0f%%, IBC %+.0f%% \
+         (paper: ~+7%% degradation)@."
+        (100.0 *. ((u5 /. ipbc) -. 1.0))
+        (100.0 *. ((u5 /. ibc) -. 1.0))
+        (100.0 *. ((ipbc /. mv) -. 1.0))
+        (100.0 *. ((ibc /. mv) -. 1.0))
+  | _ -> ()

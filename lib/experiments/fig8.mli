@@ -1,0 +1,14 @@
+(** Figure 8: cycle counts of the four architecture configurations —
+    word-interleaved cache with IPBC / IBC (16-entry Attraction
+    Buffers), multiVLIW, and unified cache with a 5-cycle latency —
+    normalized per benchmark to the unified cache with an (optimistic)
+    1-cycle latency.  Compute and stall time are reported separately. *)
+
+val tables : Context.t -> Vliw_report.Table.t list
+
+val headline : Context.t -> (string * float) list
+(** Suite AMEAN of normalized total cycles per configuration.  Paper
+    shapes: IPBC ~1.18, IBC ~1.11, interleaved ~= multiVLIW (+7%), and
+    both beat Unified(L=5) by 5% (IPBC) / 10% (IBC). *)
+
+val run : Format.formatter -> Context.t -> unit

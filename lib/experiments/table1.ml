@@ -1,0 +1,34 @@
+module Table = Vliw_report.Table
+module WL = Vliw_workloads
+
+(* "Main data size" column of the paper's Table 1: (bytes, share). *)
+let paper =
+  [
+    ("epicdec", (4, 0.84)); ("epicenc", (4, 0.89)); ("g721dec", (2, 0.89));
+    ("g721enc", (2, 0.917)); ("gsmdec", (2, 0.99)); ("gsmenc", (2, 0.99));
+    ("jpegdec", (1, 0.53)); ("jpegenc", (4, 0.70)); ("mpeg2dec", (8, 0.49));
+    ("pegwitdec", (2, 0.758)); ("pegwitenc", (2, 0.836));
+    ("pgpdec", (4, 0.921)); ("pgpenc", (4, 0.732)); ("rasta", (4, 0.95));
+  ]
+
+let table =
+  let rows =
+    List.map
+      (fun bench ->
+        let size, share = WL.Benchspec.dominant_size bench in
+        let p_size, p_share = List.assoc bench.WL.Benchspec.name paper in
+        ( bench.WL.Benchspec.name,
+          [
+            float_of_int size; share; float_of_int p_size; p_share;
+            WL.Benchspec.indirect_share bench;
+          ] ))
+      WL.Mediabench.all
+  in
+  Table.make ~title:"Table 1: dominant access size of the generated suite"
+    ~note:"ours vs. paper; last column: generated indirect-access share"
+    ~columns:[ "size"; "share"; "paper-size"; "paper-share"; "indirect" ]
+    rows
+
+let run ppf =
+  Table.render ppf table;
+  Format.pp_print_newline ppf ()

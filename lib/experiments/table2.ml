@@ -1,0 +1,3 @@
+let run ppf ctx =
+  Format.fprintf ppf "Table 2: configuration parameters@.%a@.@."
+    Vliw_arch.Config.pp (Context.cfg ctx)

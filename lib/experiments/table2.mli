@@ -1,0 +1,3 @@
+(** Table 2: the simulated configuration. *)
+
+val run : Format.formatter -> Context.t -> unit

@@ -1,0 +1,114 @@
+module Builder = Vliw_ir.Builder
+module Ddg = Vliw_ir.Ddg
+module Edge = Vliw_ir.Edge
+module Mem_access = Vliw_ir.Mem_access
+module Opcode = Vliw_ir.Opcode
+module Latency_assign = Vliw_core.Latency_assign
+module Profile = Vliw_core.Profile
+
+let n1 = 0
+let n2 = 1
+let n3 = 2
+let n4 = 3
+let n5 = 4
+let n6 = 5
+let n7 = 6
+let n8 = 7
+
+let mem symbol = Mem_access.make ~symbol ~stride:4 ~granularity:4 ()
+
+let ddg () =
+  let b = Builder.create () in
+  let add ?mem opcode = Builder.add b ?mem opcode ~dests:[ Builder.fresh_reg b ] in
+  let _n1 = add ~mem:(mem "a") Opcode.Load in
+  let _n2 = add ~mem:(mem "b") Opcode.Load in
+  let _n3 = add Opcode.Fp_alu in
+  (* n3: 2-cycle add *)
+  let _n4 = Builder.add b ~mem:(mem "c") ~srcs:[ 2 ] Opcode.Store in
+  let _n5 = add Opcode.Int_alu in
+  let _n6 = add ~mem:(mem "d") Opcode.Load in
+  let _n7 = add Opcode.Int_div in
+  let _n8 = add Opcode.Int_alu in
+  (* REC1: n1 -> n2 -> n3 -> n4 -MA(d=1)-> n1 *)
+  Builder.flow b n1 n2;
+  Builder.flow b n2 n3;
+  Builder.flow b n3 n4;
+  Builder.dep b ~kind:Edge.Mem_anti ~distance:1 n4 n1;
+  (* n5 feeds the REC1 load. *)
+  Builder.flow b n5 n1;
+  (* REC2: n6 -> n7 -> n8 -(d=1)-> n6 *)
+  Builder.flow b n6 n7;
+  Builder.flow b n7 n8;
+  Builder.flow b ~distance:1 n8 n6;
+  Builder.build b
+
+let profile () =
+  let p = Profile.empty ~n_ops:8 in
+  let set i ~hit ~fractions =
+    p.(i) <-
+      Some
+        (Profile.make_op ~hit_rate:hit ~cluster_fractions:fractions
+           ~accesses:1000)
+  in
+  set n1 ~hit:0.6 ~fractions:[| 0.5; 0.5; 0.0; 0.0 |];
+  set n2 ~hit:0.9 ~fractions:[| 0.5; 0.5; 0.0; 0.0 |];
+  set n4 ~hit:0.9 ~fractions:[| 0.25; 0.5; 0.25; 0.0 |];
+  set n6 ~hit:0.9 ~fractions:[| 0.0; 1.0; 0.0; 0.0 |];
+  p
+
+let rec1 ddg =
+  List.find (List.mem n1) (Vliw_ir.Scc.recurrences ddg)
+
+let label = function
+  | 0 -> "n1" | 1 -> "n2" | 5 -> "n6" | i -> Printf.sprintf "n%d?" i
+
+let benefit_table ctx =
+  let cfg = Context.cfg ctx in
+  let g = ddg () in
+  let profile = profile () in
+  let latencies = Array.init (Ddg.n_ops g) (Ddg.default_latency g) in
+  latencies.(n1) <- cfg.Vliw_arch.Config.lat_remote_miss;
+  latencies.(n2) <- cfg.Vliw_arch.Config.lat_remote_miss;
+  latencies.(n6) <- cfg.Vliw_arch.Config.lat_remote_miss;
+  let recurrence = rec1 g in
+  List.concat_map
+    (fun op ->
+      List.filter_map
+        (fun to_lat ->
+          if to_lat >= latencies.(op) then None
+          else
+            let d_ii, d_stall =
+              Latency_assign.benefit cfg g ~mode:Latency_assign.Four_level
+                ~profile ~latencies ~recurrence ~op ~to_lat
+            in
+            let b = if d_stall <= 0.0 then infinity else d_ii /. d_stall in
+            Some (label op, to_lat, d_ii, d_stall, b))
+        (Latency_assign.levels cfg Latency_assign.Four_level))
+    [ n1; n2 ]
+
+let assigned ctx =
+  Latency_assign.assign (Context.cfg ctx) (ddg ())
+    ~mode:Latency_assign.Four_level ~profile:(profile ())
+
+let run ppf ctx =
+  Format.fprintf ppf
+    "Worked example (Section 4.3.3): STEP 1 benefit table@.";
+  Format.fprintf ppf "  %-4s %-8s %6s %8s %8s@." "node" "to lat" "dII"
+    "dStall" "B";
+  List.iter
+    (fun (l, to_lat, d_ii, d_stall, b) ->
+      Format.fprintf ppf "  %-4s %-8d %6.0f %8.2f %8.2f@." l to_lat d_ii
+        d_stall b)
+    (benefit_table ctx);
+  let lat = assigned ctx in
+  Format.fprintf ppf
+    "Final assignment: n1 = %d (paper: 4), n2 = %d (paper: 1), n6 = %d \
+     (paper: 1)@."
+    lat.(n1) lat.(n2) lat.(n6);
+  let g = ddg () in
+  let target =
+    Latency_assign.target_mii (Context.cfg ctx) g
+      ~mode:Latency_assign.Four_level
+  in
+  Format.fprintf ppf "Loop MII with optimistic latencies: %d (paper: 8)@.@."
+    target

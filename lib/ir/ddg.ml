@@ -1,0 +1,52 @@
+type t = {
+  ops : Operation.t array;
+  edges : Edge.t list;
+  succs : Edge.t list array;
+  preds : Edge.t list array;
+}
+
+let make ops edges =
+  let n = Array.length ops in
+  Array.iteri
+    (fun i (o : Operation.t) ->
+      if o.Operation.id <> i then invalid_arg "Ddg.make: non-dense ids")
+    ops;
+  let succs = Array.make n [] and preds = Array.make n [] in
+  let add (e : Edge.t) =
+    if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+      invalid_arg "Ddg.make: edge endpoint out of range";
+    succs.(e.src) <- e :: succs.(e.src);
+    preds.(e.dst) <- e :: preds.(e.dst)
+  in
+  List.iter add edges;
+  { ops; edges; succs; preds }
+
+let n_ops t = Array.length t.ops
+let op t i = t.ops.(i)
+let ops t = t.ops
+let edges t = t.edges
+let succs t i = t.succs.(i)
+let preds t i = t.preds.(i)
+
+let memory_ops t =
+  let acc = ref [] in
+  for i = Array.length t.ops - 1 downto 0 do
+    if Operation.is_memory t.ops.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let effective_latency ~latency (e : Edge.t) =
+  match e.kind with
+  | Edge.Reg_flow -> latency e.src
+  | Edge.Reg_anti -> 0
+  | Edge.Reg_out | Edge.Mem_flow | Edge.Mem_anti | Edge.Mem_out
+  | Edge.Mem_unresolved ->
+      1
+
+let default_latency t i = Opcode.default_latency t.ops.(i).Operation.opcode
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iter (fun o -> Format.fprintf ppf "%a@," Operation.pp o) t.ops;
+  List.iter (fun e -> Format.fprintf ppf "%a@," Edge.pp e) t.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,38 @@
+(** Data-dependence graph of one loop body.
+
+    Operation ids are dense: [op t i] has [i = (op t i).Operation.id] for
+    [0 <= i < n_ops t].  The graph is immutable after construction. *)
+
+type t
+
+val make : Operation.t array -> Edge.t list -> t
+(** @raise Invalid_argument if ids are not dense [0..n-1] in order or an
+    edge endpoint is out of range. *)
+
+val n_ops : t -> int
+val op : t -> int -> Operation.t
+val ops : t -> Operation.t array
+(** The returned array must not be mutated. *)
+
+val edges : t -> Edge.t list
+val succs : t -> int -> Edge.t list
+(** Outgoing edges of a node. *)
+
+val preds : t -> int -> Edge.t list
+(** Incoming edges of a node. *)
+
+val memory_ops : t -> int list
+(** Ids of load/store operations, ascending. *)
+
+val effective_latency : latency:(int -> int) -> Edge.t -> int
+(** Scheduling latency of an edge: the constraint is
+    [time dst >= time src + effective_latency edge - II * distance].
+    [latency id] gives the assigned latency of operation [id] (used for
+    [Reg_flow] edges).  [Reg_anti] edges have latency 0 (anti-dependent
+    operations may share a cycle, as in the paper's example); [Reg_out]
+    and all memory-dependence edges have latency 1 (serialization). *)
+
+val default_latency : t -> int -> int
+(** Latency function using each opcode's default latency. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type kind =
+  | Reg_flow
+  | Reg_anti
+  | Reg_out
+  | Mem_flow
+  | Mem_anti
+  | Mem_out
+  | Mem_unresolved
+
+type t = { src : int; dst : int; kind : kind; distance : int }
+
+let make ?(kind = Reg_flow) ?(distance = 0) ~src ~dst () =
+  if distance < 0 then invalid_arg "Edge.make: negative distance";
+  { src; dst; kind; distance }
+
+let is_memory_kind = function
+  | Mem_flow | Mem_anti | Mem_out | Mem_unresolved -> true
+  | Reg_flow | Reg_anti | Reg_out -> false
+
+let kind_to_string = function
+  | Reg_flow -> "RF"
+  | Reg_anti -> "RA"
+  | Reg_out -> "RO"
+  | Mem_flow -> "MF"
+  | Mem_anti -> "MA"
+  | Mem_out -> "MO"
+  | Mem_unresolved -> "MU"
+
+let pp ppf t =
+  Format.fprintf ppf "n%d -%s(d=%d)-> n%d" t.src (kind_to_string t.kind)
+    t.distance t.dst

@@ -1,0 +1,29 @@
+(** Dependence edges of the data-dependence graph.
+
+    [distance] is the dependence distance in loop iterations (0 for
+    intra-iteration dependences).  Memory-dependence kinds include
+    [Mem_unresolved]: the conservative edges the paper's compiler adds when
+    memory disambiguation fails; they participate in memory-dependent
+    chains exactly like true memory dependences. *)
+
+type kind =
+  | Reg_flow  (** true register dependence; latency of the producer *)
+  | Reg_anti  (** zero latency: both ends may share a cycle *)
+  | Reg_out  (** latency 1 *)
+  | Mem_flow
+  | Mem_anti
+  | Mem_out
+  | Mem_unresolved
+
+type t = { src : int; dst : int; kind : kind; distance : int }
+
+val make : ?kind:kind -> ?distance:int -> src:int -> dst:int -> unit -> t
+(** Defaults: [kind = Reg_flow], [distance = 0].
+    @raise Invalid_argument on a negative distance. *)
+
+val is_memory_kind : kind -> bool
+(** True for the four [Mem_*] kinds — the edges that define
+    memory-dependent chains. *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

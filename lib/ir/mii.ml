@@ -1,0 +1,93 @@
+exception Infeasible
+
+(* A captured recurrence: node ids remapped to a dense [0, n) range and
+   the induced edges stored flat, so feasibility checks allocate nothing
+   beyond one distance array. *)
+type solver = {
+  n : int;
+  nodes : int array;  (** dense index -> original id *)
+  srcs : int array;
+  dsts : int array;
+  lat_ops : int array;  (** original id of the op whose latency the edge
+                            uses (Reg_flow), or -1 for fixed latency *)
+  fixed : int array;  (** fixed component of the edge latency *)
+  dists : int array;
+}
+
+let solver ddg ~nodes =
+  let node_arr = Array.of_list nodes in
+  let n = Array.length node_arr in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) node_arr;
+  let edges =
+    List.filter
+      (fun (e : Edge.t) ->
+        Hashtbl.mem index e.src && Hashtbl.mem index e.dst)
+      (Ddg.edges ddg)
+  in
+  let m = List.length edges in
+  let srcs = Array.make m 0
+  and dsts = Array.make m 0
+  and lat_ops = Array.make m (-1)
+  and fixed = Array.make m 0
+  and dists = Array.make m 0 in
+  List.iteri
+    (fun i (e : Edge.t) ->
+      srcs.(i) <- Hashtbl.find index e.src;
+      dsts.(i) <- Hashtbl.find index e.dst;
+      dists.(i) <- e.distance;
+      match e.kind with
+      | Edge.Reg_flow -> lat_ops.(i) <- e.src
+      | Edge.Reg_anti -> fixed.(i) <- 0
+      | Edge.Reg_out | Edge.Mem_flow | Edge.Mem_anti | Edge.Mem_out
+      | Edge.Mem_unresolved ->
+          fixed.(i) <- 1)
+    edges;
+  { n; nodes = node_arr; srcs; dsts; lat_ops; fixed; dists }
+
+let solve_feasible s ~latency ~ii =
+  let dist = Array.make s.n 0 in
+  let m = Array.length s.srcs in
+  let changed = ref true and rounds = ref 0 in
+  while !changed && !rounds <= s.n do
+    changed := false;
+    incr rounds;
+    for i = 0 to m - 1 do
+      let lat =
+        if s.lat_ops.(i) >= 0 then latency s.lat_ops.(i) else s.fixed.(i)
+      in
+      let w = lat - (ii * s.dists.(i)) in
+      let cand = dist.(s.srcs.(i)) + w in
+      if cand > dist.(s.dsts.(i)) then begin
+        dist.(s.dsts.(i)) <- cand;
+        changed := true
+      end
+    done
+  done;
+  not !changed
+
+let solve s ~latency =
+  let upper =
+    Array.fold_left (fun acc v -> acc + max 1 (latency v)) 1 s.nodes
+  in
+  if not (solve_feasible s ~latency ~ii:upper) then raise Infeasible;
+  let rec search lo hi =
+    (* Invariant: [hi] is feasible, every ii < lo is infeasible. *)
+    if lo >= hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if solve_feasible s ~latency ~ii:mid then search lo mid
+      else search (mid + 1) hi
+  in
+  search 1 upper
+
+let feasible ddg ~latency ~nodes ~ii =
+  solve_feasible (solver ddg ~nodes) ~latency ~ii
+
+let recurrence_ii ddg ~latency nodes = solve (solver ddg ~nodes) ~latency
+
+let rec_mii ddg ~latency =
+  List.fold_left
+    (fun acc nodes -> max acc (recurrence_ii ddg ~latency nodes))
+    1
+    (Scc.recurrences ddg)

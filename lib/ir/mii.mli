@@ -1,0 +1,35 @@
+(** Recurrence-constrained minimum initiation interval (RecMII).
+
+    For a candidate II, a set of dependence constraints
+    [t(dst) >= t(src) + lat(e) - II * distance(e)] is satisfiable iff the
+    constraint graph has no positive-weight cycle with weights
+    [lat(e) - II * distance(e)].  The II of a recurrence is the smallest
+    II for which its subgraph is satisfiable.
+
+    A {!solver} captures one recurrence's subgraph once; latency
+    assignment evaluates hundreds of candidate latency vectors against
+    the same recurrence, so the filtered edge set is worth keeping. *)
+
+exception Infeasible
+(** Raised when a recurrence contains a zero-distance cycle with positive
+    total latency: no II can schedule it (malformed DDG). *)
+
+type solver
+
+val solver : Ddg.t -> nodes:int list -> solver
+(** Capture the subgraph induced by [nodes]. *)
+
+val solve : solver -> latency:(int -> int) -> int
+(** Minimum feasible II of the captured recurrence under the given
+    latencies.  @raise Infeasible on a zero-distance positive cycle. *)
+
+val solve_feasible : solver -> latency:(int -> int) -> ii:int -> bool
+
+val feasible : Ddg.t -> latency:(int -> int) -> nodes:int list -> ii:int -> bool
+(** One-shot version of {!solve_feasible}. *)
+
+val recurrence_ii : Ddg.t -> latency:(int -> int) -> int list -> int
+(** One-shot version of {!solve}. *)
+
+val rec_mii : Ddg.t -> latency:(int -> int) -> int
+(** Max of {!recurrence_ii} over all recurrences; 1 if the loop has none. *)

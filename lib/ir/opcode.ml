@@ -1,0 +1,45 @@
+type fu_class = Int_fu | Fp_fu | Mem_fu
+
+type t =
+  | Int_alu
+  | Int_mul
+  | Int_div
+  | Fp_alu
+  | Fp_mul
+  | Fp_div
+  | Load
+  | Store
+  | Copy
+
+let fu_class = function
+  | Int_alu | Int_mul | Int_div | Copy -> Int_fu
+  | Fp_alu | Fp_mul | Fp_div -> Fp_fu
+  | Load | Store -> Mem_fu
+
+let default_latency = function
+  | Int_alu -> 1
+  | Int_mul -> 2
+  | Int_div -> 6
+  | Fp_alu -> 2
+  | Fp_mul -> 2
+  | Fp_div -> 6
+  | Load -> 1
+  | Store -> 1
+  | Copy -> 2
+
+let is_memory = function Load | Store -> true | _ -> false
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Int_alu -> "add"
+  | Int_mul -> "mul"
+  | Int_div -> "div"
+  | Fp_alu -> "fadd"
+  | Fp_mul -> "fmul"
+  | Fp_div -> "fdiv"
+  | Load -> "load"
+  | Store -> "store"
+  | Copy -> "copy"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,37 @@
+(** Operation codes of the VLIW intermediate representation.
+
+    The opcode determines which functional-unit class executes the
+    operation and its default (non-memory) latency.  Memory operations
+    ([Load]/[Store]) have variable latency; the scheduler assigns them one
+    of the architectural latencies (see {!Vliw_core.Latency_assign}). *)
+
+(** Functional-unit classes available in each cluster. *)
+type fu_class = Int_fu | Fp_fu | Mem_fu
+
+type t =
+  | Int_alu
+  | Int_mul
+  | Int_div
+  | Fp_alu
+  | Fp_mul
+  | Fp_div
+  | Load
+  | Store
+  | Copy  (** explicit inter-cluster register move, inserted by the scheduler *)
+
+val fu_class : t -> fu_class
+(** The functional-unit class that executes this opcode.  [Copy] is
+    executed by the integer unit of the source cluster (it also occupies a
+    register bus, which the scheduler reserves separately). *)
+
+val default_latency : t -> int
+(** Fixed latency for non-memory opcodes.  For [Load] this is the
+    local-hit latency placeholder (1); the real value is assigned by the
+    latency-assignment pass.  [Store] produces no register value and has
+    latency 1. *)
+
+val is_memory : t -> bool
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

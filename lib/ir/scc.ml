@@ -1,0 +1,77 @@
+(* Iterative Tarjan: recursion replaced by an explicit work stack so that
+   very large unrolled DDGs cannot overflow the OCaml stack. *)
+
+let components ddg =
+  let n = Ddg.n_ops ddg in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let result = ref [] in
+  let visit root =
+    (* Work items: (node, remaining successor edges). *)
+    let work = ref [ (root, ref (Ddg.succs ddg root)) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | (v, rest) :: tail -> (
+          match !rest with
+          | e :: more ->
+              rest := more;
+              let w = e.Edge.dst in
+              if index.(w) < 0 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                work := (w, ref (Ddg.succs ddg w)) :: !work
+              end
+              else if on_stack.(w) then
+                lowlink.(v) <- min lowlink.(v) index.(w)
+          | [] ->
+              work := tail;
+              (match tail with
+              | (parent, _) :: _ ->
+                  lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+              | [] -> ());
+              if lowlink.(v) = index.(v) then begin
+                let comp = ref [] in
+                let continue = ref true in
+                while !continue do
+                  match !stack with
+                  | [] -> continue := false
+                  | w :: rest_stack ->
+                      stack := rest_stack;
+                      on_stack.(w) <- false;
+                      comp := w :: !comp;
+                      if w = v then continue := false
+                done;
+                result := !comp :: !result
+              end)
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  !result
+
+let recurrences ddg =
+  let has_self_edge v =
+    List.exists (fun (e : Edge.t) -> e.dst = v) (Ddg.succs ddg v)
+  in
+  List.filter
+    (function [] -> false | [ v ] -> has_self_edge v | _ -> true)
+    (components ddg)
+
+let component_of ddg =
+  let comp = Array.make (Ddg.n_ops ddg) (-1) in
+  List.iteri (fun i nodes -> List.iter (fun v -> comp.(v) <- i) nodes)
+    (components ddg);
+  fun id -> comp.(id)

@@ -1,0 +1,16 @@
+(** Strongly-connected components of a DDG — the loop's recurrences.
+
+    Components are returned in reverse topological order of the condensed
+    graph (Tarjan's invariant); each component lists node ids in no
+    particular order. *)
+
+val components : Ddg.t -> int list list
+(** All strongly-connected components, including singletons. *)
+
+val recurrences : Ddg.t -> int list list
+(** Only genuine recurrences: components with more than one node, or a
+    single node with a self-edge. *)
+
+val component_of : Ddg.t -> (int -> int)
+(** [component_of ddg id] is a dense component index for node [id];
+    nodes share an index iff they share a component. *)

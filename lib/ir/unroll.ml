@@ -1,0 +1,52 @@
+(* Copy [k] of original operation [i] gets id [i * factor + k], so both
+   directions of the id mapping are pure arithmetic. *)
+
+let copy_index ~factor id = id mod factor
+let original_id ~factor id = id / factor
+
+let unroll_op ~factor ~k (o : Operation.t) =
+  let rename r = (r * factor) + k in
+  let mem =
+    Option.map
+      (fun (m : Mem_access.t) ->
+        {
+          m with
+          Mem_access.offset = m.Mem_access.offset + (k * m.Mem_access.stride);
+          stride = factor * m.Mem_access.stride;
+        })
+      o.Operation.mem
+  in
+  {
+    o with
+    Operation.id = (o.Operation.id * factor) + k;
+    dests = List.map rename o.Operation.dests;
+    srcs = List.map rename o.Operation.srcs;
+    mem;
+  }
+
+let ddg ddg0 ~factor =
+  if factor < 1 then invalid_arg "Unroll.ddg: factor < 1";
+  if factor = 1 then ddg0
+  else begin
+    let n = Ddg.n_ops ddg0 in
+    let ops = Array.make (n * factor) (Ddg.op ddg0 0) in
+    for i = 0 to n - 1 do
+      for k = 0 to factor - 1 do
+        ops.((i * factor) + k) <- unroll_op ~factor ~k (Ddg.op ddg0 i)
+      done
+    done;
+    let edges =
+      List.concat_map
+        (fun (e : Edge.t) ->
+          List.init factor (fun k ->
+              let k' = (k + e.distance) mod factor in
+              {
+                e with
+                Edge.src = (e.src * factor) + k;
+                dst = (e.dst * factor) + k';
+                distance = (k + e.distance) / factor;
+              }))
+        (Ddg.edges ddg0)
+    in
+    Ddg.make ops edges
+  end

@@ -1,0 +1,18 @@
+(** Loop unrolling at the DDG level.
+
+    Unrolling by [factor] U replicates every operation U times.  Copy [k]
+    of a memory operation accesses [offset + k * stride] with stride
+    [U * stride] (its stride in the unrolled loop).  A dependence edge
+    [(u, v, d)] becomes, for every copy [k], an edge from [u_k] to
+    [v_((k + d) mod U)] with distance [(k + d) / U] — the standard
+    redistribution of loop-carried dependences over unrolled copies. *)
+
+val ddg : Ddg.t -> factor:int -> Ddg.t
+(** @raise Invalid_argument if [factor < 1]. *)
+
+val copy_index : factor:int -> int -> int
+(** [copy_index ~factor id] recovers which unrolled copy an operation id
+    of the unrolled DDG belongs to. *)
+
+val original_id : factor:int -> int -> int
+(** Original-loop operation id an unrolled operation came from. *)

@@ -1,0 +1,81 @@
+type t = {
+  title : string;
+  note : string option;
+  columns : string list;
+  rows : (string * float list) list;
+}
+
+let make ~title ?note ~columns rows =
+  let width = List.length columns in
+  List.iter
+    (fun (label, values) ->
+      if List.length values <> width then
+        invalid_arg
+          (Printf.sprintf "Table.make: row %S has %d values, expected %d"
+             label (List.length values) width))
+    rows;
+  { title; note; columns; rows }
+
+let render ?(precision = 3) ppf t =
+  let label_width =
+    List.fold_left
+      (fun acc (l, _) -> max acc (String.length l))
+      (String.length "benchmark") t.rows
+  in
+  let col_width =
+    List.fold_left (fun acc c -> max acc (String.length c)) (precision + 4)
+      t.columns
+  in
+  Format.fprintf ppf "%s@." t.title;
+  (match t.note with Some n -> Format.fprintf ppf "  (%s)@." n | None -> ());
+  Format.fprintf ppf "  %-*s" label_width "";
+  List.iter (fun c -> Format.fprintf ppf "  %*s" col_width c) t.columns;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (label, values) ->
+      Format.fprintf ppf "  %-*s" label_width label;
+      List.iter
+        (fun v -> Format.fprintf ppf "  %*.*f" col_width precision v)
+        values;
+      Format.fprintf ppf "@.")
+    t.rows
+
+let render_csv ppf t =
+  Format.fprintf ppf "benchmark,%s@." (String.concat "," t.columns);
+  List.iter
+    (fun (label, values) ->
+      Format.fprintf ppf "%s,%s@." label
+        (String.concat "," (List.map (Printf.sprintf "%.6f") values)))
+    t.rows
+
+let bar ~width v =
+  let v = Float.max 0.0 (Float.min 1.0 v) in
+  let n = int_of_float (Float.round (v *. float_of_int width)) in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let segment_chars = [| '#'; '='; '+'; '-'; '.' |]
+
+let stacked_bar ~width segments =
+  let total = List.fold_left ( +. ) 0.0 segments in
+  if total <= 0.0 then String.make width ' '
+  else begin
+    let buf = Buffer.create width in
+    let consumed = ref 0 in
+    List.iteri
+      (fun i v ->
+        let remaining = List.length segments - 1 - i in
+        let n =
+          if remaining = 0 then width - !consumed
+          else int_of_float (Float.round (v /. total *. float_of_int width))
+        in
+        let n = max 0 (min n (width - !consumed)) in
+        Buffer.add_string buf
+          (String.make n segment_chars.(i mod Array.length segment_chars));
+        consumed := !consumed + n)
+      segments;
+    Buffer.contents buf
+  end
+
+let title t = t.title
+let columns t = t.columns
+let rows t = t.rows

@@ -1,0 +1,45 @@
+(** Modulo reservation table for one II attempt.
+
+    Tracks, per cycle modulo II: functional units and issue slots per
+    cluster, and the shared register buses.  Buses run at half the core
+    frequency, so one transfer occupies a bus for [bus_occupancy]
+    consecutive cycles; per-cycle usage is bounded by the bus count
+    (transfers of successive iterations alternate over the physical
+    buses, so the count model is what the hardware can sustain). *)
+
+type t
+
+val create : Vliw_arch.Config.t -> ii:int -> t
+val ii : t -> int
+
+val fu_free : t -> cluster:int -> fu:Vliw_ir.Opcode.fu_class -> cycle:int -> bool
+(** FU of the class and an issue slot both available at [cycle mod II]. *)
+
+val reserve_fu : t -> cluster:int -> fu:Vliw_ir.Opcode.fu_class -> cycle:int -> unit
+(** @raise Invalid_argument if not free (callers must check first). *)
+
+val issue_free : t -> cluster:int -> cycle:int -> bool
+(** An issue slot only — copies go out on the register buses and do not
+    occupy a functional unit. *)
+
+val reserve_issue : t -> cluster:int -> cycle:int -> unit
+(** @raise Invalid_argument if not free. *)
+
+val reg_bus_free : t -> cycle:int -> bool
+(** Can a transfer start at [cycle] without exceeding bus capacity
+    anywhere in its occupancy window? *)
+
+val reserve_reg_bus : t -> cycle:int -> unit
+(** @raise Invalid_argument if not free. *)
+
+val cluster_load : t -> int -> int
+(** Issue slots reserved in a cluster so far (workload-balance input). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the full reservation state (cheap: the table is tiny). *)
+
+val restore : t -> snapshot -> unit
+(** Roll back to a snapshot — used when a placement attempt reserved
+    copy resources and then failed on a later constraint. *)

@@ -1,0 +1,193 @@
+module Ddg = Vliw_ir.Ddg
+module Edge = Vliw_ir.Edge
+module Scc = Vliw_ir.Scc
+module Mii = Vliw_ir.Mii
+
+(* Longest-path relaxation with weights [lat - ii*distance], clamped at 0.
+   Converges in <= n rounds when ii >= RecMII (no positive cycles). *)
+let depths ddg ~latency ~ii =
+  let n = Ddg.n_ops ddg in
+  let estart = Array.make n 0 and height = Array.make n 0 in
+  let weight e = Ddg.effective_latency ~latency e - (ii * e.Edge.distance) in
+  let relax dist get_edges endpoint other =
+    let changed = ref true and rounds = ref 0 in
+    while !changed && !rounds <= n do
+      changed := false;
+      incr rounds;
+      for v = 0 to n - 1 do
+        List.iter
+          (fun e ->
+            let cand = dist.(other e) + weight e in
+            if cand > dist.(endpoint e) then begin
+              dist.(endpoint e) <- cand;
+              changed := true
+            end)
+          (get_edges v)
+      done
+    done
+  in
+  relax estart (Ddg.succs ddg) (fun e -> e.Edge.dst) (fun e -> e.Edge.src);
+  relax height (Ddg.preds ddg) (fun e -> e.Edge.src) (fun e -> e.Edge.dst);
+  (estart, height)
+
+type direction = Top_down | Bottom_up
+
+type prepared = { sets : int list list }
+
+let prepare ddg ~latency =
+  (* SCC sets, most II-constraining first. *)
+  let scc_priority nodes =
+    match nodes with
+    | [ v ]
+      when not
+             (List.exists (fun (e : Edge.t) -> e.dst = v) (Ddg.succs ddg v))
+      ->
+        0
+    | _ -> Mii.recurrence_ii ddg ~latency nodes
+  in
+  let sets =
+    Scc.components ddg
+    |> List.map (fun nodes ->
+           (scc_priority nodes, List.length nodes, List.fold_left min max_int nodes, nodes))
+    |> List.sort (fun (p1, s1, m1, _) (p2, s2, m2, _) ->
+           if p1 <> p2 then compare p2 p1
+           else if s1 <> s2 then compare s2 s1
+           else compare m1 m2)
+    |> List.map (fun (_, _, _, nodes) -> nodes)
+  in
+  { sets }
+
+let ordered prepared ddg ~latency ~ii =
+  let n = Ddg.n_ops ddg in
+  let estart, height = depths ddg ~latency ~ii in
+  let horizon = Array.fold_left max 0 estart in
+  let mobility v = max 0 (horizon - height.(v) - estart.(v)) in
+  let sets = prepared.sets in
+  let ordered = Array.make n false in
+  let rev_order = ref [] in
+  let append v =
+    ordered.(v) <- true;
+    rev_order := v :: !rev_order
+  in
+  (* Reachability restricted to unordered nodes is not needed: path nodes
+     between the ordered set and the next SCC are found on the full
+     graph, then filtered. *)
+  let reach get_edges endpoint seeds =
+    let seen = Array.make n false in
+    let stack = ref seeds in
+    List.iter (fun v -> seen.(v) <- true) seeds;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+          stack := rest;
+          List.iter
+            (fun e ->
+              let w = endpoint e in
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                stack := w :: !stack
+              end)
+            (get_edges v)
+    done;
+    seen
+  in
+  let descendants seeds = reach (Ddg.succs ddg) (fun e -> e.Edge.dst) seeds in
+  let ancestors seeds = reach (Ddg.preds ddg) (fun e -> e.Edge.src) seeds in
+  let in_work = Array.make n false in
+  let pick_best candidates better =
+    List.fold_left
+      (fun best v ->
+        match best with
+        | None -> Some v
+        | Some b -> if better v b then Some v else Some b)
+      None candidates
+  in
+  let work_list () =
+    let acc = ref [] in
+    for v = n - 1 downto 0 do
+      if in_work.(v) then acc := v :: !acc
+    done;
+    !acc
+  in
+  let neighbours_of_ordered get_edges endpoint =
+    List.filter
+      (fun v ->
+        List.exists (fun e -> ordered.(endpoint e)) (get_edges v))
+      (work_list ())
+  in
+  let inner () =
+    while work_list () <> [] do
+      (* Choose the sweep direction from how the working set touches the
+         already-ordered nodes. *)
+      let succs_of_o = neighbours_of_ordered (Ddg.preds ddg) (fun e -> e.Edge.src) in
+      let preds_of_o = neighbours_of_ordered (Ddg.succs ddg) (fun e -> e.Edge.dst) in
+      let r, dir =
+        if succs_of_o <> [] then (succs_of_o, Top_down)
+        else if preds_of_o <> [] then (preds_of_o, Bottom_up)
+        else
+          let seed =
+            pick_best (work_list ()) (fun v b ->
+                estart.(v) < estart.(b)
+                || (estart.(v) = estart.(b) && v < b))
+          in
+          (Option.to_list seed, Top_down)
+      in
+      let r = ref r and dir = ref dir in
+      while !r <> [] do
+        let better v b =
+          let key u =
+            match !dir with
+            | Top_down -> (-height.(u), mobility u, u)
+            | Bottom_up -> (-estart.(u), mobility u, u)
+          in
+          key v < key b
+        in
+        match pick_best !r better with
+        | None -> r := []
+        | Some v ->
+            append v;
+            in_work.(v) <- false;
+            let expand =
+              match !dir with
+              | Top_down ->
+                  List.filter_map
+                    (fun (e : Edge.t) ->
+                      if in_work.(e.dst) then Some e.dst else None)
+                    (Ddg.succs ddg v)
+              | Bottom_up ->
+                  List.filter_map
+                    (fun (e : Edge.t) ->
+                      if in_work.(e.src) then Some e.src else None)
+                    (Ddg.preds ddg v)
+            in
+            r :=
+              List.sort_uniq compare
+                (List.filter (fun u -> in_work.(u) && u <> v) (!r @ expand))
+      done
+    done
+  in
+  List.iter
+    (fun set ->
+      let set = List.filter (fun v -> not ordered.(v)) set in
+      if set <> [] then begin
+        List.iter (fun v -> in_work.(v) <- true) set;
+        if !rev_order <> [] then begin
+          (* Nodes on paths between the ordered nodes and this SCC must be
+             ordered together with it so later nodes keep the
+             "only preds or only succs" property. *)
+          let anc_set = ancestors set and desc_set = descendants set in
+          let desc_o = descendants !rev_order and anc_o = ancestors !rev_order in
+          for v = 0 to n - 1 do
+            if
+              (not ordered.(v))
+              && ((anc_set.(v) && desc_o.(v)) || (desc_set.(v) && anc_o.(v)))
+            then in_work.(v) <- true
+          done
+        end;
+        inner ()
+      end)
+    sets;
+  List.rev !rev_order
+
+let order ddg ~latency ~ii = ordered (prepare ddg ~latency) ddg ~latency ~ii

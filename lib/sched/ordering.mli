@@ -1,0 +1,29 @@
+(** Swing-modulo-scheduling node ordering [Llosa et al., PACT'96] — the
+    ordering the paper adopts (its reference [13]).
+
+    Properties the scheduler relies on:
+    - recurrences are ordered first, most II-constraining first;
+    - every node except (at most) one per recurrence has, at its turn,
+      only predecessors or only successors among the already-ordered
+      nodes, which keeps lifetimes (register pressure) low.
+
+    SCC priorities depend only on the latencies, not on the candidate
+    II, so they are computed once ({!prepare}) and reused across the II
+    escalation loop. *)
+
+type prepared
+
+val prepare : Vliw_ir.Ddg.t -> latency:(int -> int) -> prepared
+(** SCC decomposition plus per-SCC RecMII priorities. *)
+
+val ordered : prepared -> Vliw_ir.Ddg.t -> latency:(int -> int) -> ii:int -> int list
+(** A permutation of [0 .. n_ops-1] in scheduling order for one II
+    attempt. *)
+
+val order : Vliw_ir.Ddg.t -> latency:(int -> int) -> ii:int -> int list
+(** One-shot [prepare] + [ordered]. *)
+
+val depths :
+  Vliw_ir.Ddg.t -> latency:(int -> int) -> ii:int -> int array * int array
+(** [(estart, height)] longest-path values used by the ordering, exposed
+    for the scheduler's slot windows and for tests. *)

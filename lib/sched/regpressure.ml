@@ -1,0 +1,70 @@
+module Ddg = Vliw_ir.Ddg
+module Edge = Vliw_ir.Edge
+module Operation = Vliw_ir.Operation
+
+(* Lifetimes as [def, last_use] spans in flat-schedule cycles; pressure
+   at steady state: a span of length len contributes to mod-II slot m
+   once per iteration instance alive there, i.e. its contribution to
+   slot m is  #{ k >= 0 | def <= m + k*II <= def + len - 1  (mod
+   alignment) } — computed directly by walking the span. *)
+
+let add_span pressure ~ii ~from_cycle ~to_cycle =
+  if to_cycle >= from_cycle then
+    for t = from_cycle to to_cycle do
+      let m = ((t mod ii) + ii) mod ii in
+      pressure.(m) <- pressure.(m) + 1
+    done
+
+let max_live ddg ~latency (s : Schedule.t) =
+  let ii = s.Schedule.ii in
+  let per_cluster =
+    Array.init s.Schedule.n_clusters (fun _ -> Array.make ii 0)
+  in
+  let live_end_local = Array.make (Ddg.n_ops ddg) min_int in
+  (* Local readers. *)
+  List.iter
+    (fun (e : Edge.t) ->
+      if
+        e.kind = Edge.Reg_flow
+        && s.Schedule.cluster.(e.src) = s.Schedule.cluster.(e.dst)
+      then
+        live_end_local.(e.src) <-
+          max live_end_local.(e.src)
+            (s.Schedule.start.(e.dst) + (ii * e.distance)))
+    (Ddg.edges ddg);
+  (* Departing copies extend the producer's local lifetime to the copy
+     issue, and open a lifetime in the destination cluster that lasts
+     until that cluster's last reader of the value. *)
+  List.iter
+    (fun (cp : Schedule.copy) ->
+      live_end_local.(cp.Schedule.src_op) <-
+        max live_end_local.(cp.Schedule.src_op) cp.Schedule.start;
+      let dest_end = ref (cp.Schedule.start + 1) in
+      List.iter
+        (fun (e : Edge.t) ->
+          if
+            e.kind = Edge.Reg_flow
+            && e.src = cp.Schedule.src_op
+            && s.Schedule.cluster.(e.dst) = cp.Schedule.to_cluster
+          then
+            dest_end :=
+              max !dest_end (s.Schedule.start.(e.dst) + (ii * e.distance)))
+        (Ddg.edges ddg);
+      add_span per_cluster.(cp.Schedule.to_cluster) ~ii
+        ~from_cycle:cp.Schedule.start ~to_cycle:!dest_end)
+    s.Schedule.copies;
+  Array.iter
+    (fun (o : Operation.t) ->
+      if o.Operation.dests <> [] then begin
+        let v = o.Operation.id in
+        let def = s.Schedule.start.(v) in
+        (* A value exists at least while its operation is in flight. *)
+        let last = max live_end_local.(v) (def + latency v) in
+        add_span per_cluster.(s.Schedule.cluster.(v)) ~ii ~from_cycle:def
+          ~to_cycle:last
+      end)
+    (Ddg.ops ddg);
+  Array.map (fun slots -> Array.fold_left max 0 slots) per_cluster
+
+let total_max_live ddg ~latency s =
+  Array.fold_left ( + ) 0 (max_live ddg ~latency s)

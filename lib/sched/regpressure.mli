@@ -1,0 +1,22 @@
+(** Register-pressure estimation for a modulo schedule (MaxLive).
+
+    A value defined by operation [u] at cycle [t_u] stays live until its
+    last reader issues: [max over Reg_flow successors w of
+    (t_w + II * distance)] — and with software pipelining, lifetimes
+    longer than the II overlap themselves, so several iterations'
+    instances are live at once.  MaxLive per cluster is the scheduler's
+    classic proxy for register-file pressure (the paper discusses it as
+    one of the costs of scheduling loads with large latencies).
+
+    Cross-cluster consumers read the *copy*, not the original value: the
+    producer's lifetime in its own cluster ends at the latest local
+    reader or departing copy, and each copy starts a new lifetime in its
+    destination cluster. *)
+
+val max_live :
+  Vliw_ir.Ddg.t -> latency:(int -> int) -> Schedule.t -> int array
+(** Per-cluster MaxLive (simultaneously live values in the steady
+    state). *)
+
+val total_max_live : Vliw_ir.Ddg.t -> latency:(int -> int) -> Schedule.t -> int
+(** Sum over clusters. *)

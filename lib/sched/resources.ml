@@ -1,0 +1,28 @@
+module Config = Vliw_arch.Config
+module Ddg = Vliw_ir.Ddg
+module Opcode = Vliw_ir.Opcode
+module Operation = Vliw_ir.Operation
+
+let cdiv a b = (a + b - 1) / b
+
+let res_mii (cfg : Config.t) ddg =
+  let n_int = ref 0 and n_fp = ref 0 and n_mem = ref 0 in
+  Array.iter
+    (fun (o : Operation.t) ->
+      match Opcode.fu_class o.Operation.opcode with
+      | Opcode.Int_fu -> incr n_int
+      | Opcode.Fp_fu -> incr n_fp
+      | Opcode.Mem_fu -> incr n_mem)
+    (Ddg.ops ddg);
+  let n = cfg.Config.n_clusters in
+  let bound count per_cluster = cdiv count (max 1 (per_cluster * n)) in
+  let issue = cdiv (Ddg.n_ops ddg) (cfg.Config.issue_width_per_cluster * n) in
+  List.fold_left max 1
+    [
+      bound !n_int cfg.Config.int_fus_per_cluster;
+      bound !n_fp cfg.Config.fp_fus_per_cluster;
+      bound !n_mem cfg.Config.mem_fus_per_cluster;
+      issue;
+    ]
+
+let mii cfg ddg ~latency = max (res_mii cfg ddg) (Vliw_ir.Mii.rec_mii ddg ~latency)

@@ -1,0 +1,9 @@
+(** Resource-constrained minimum initiation interval. *)
+
+val res_mii : Vliw_arch.Config.t -> Vliw_ir.Ddg.t -> int
+(** Max over functional-unit classes of
+    [ceil (ops_of_class / total_fus_of_class)], also bounded by total
+    issue bandwidth. *)
+
+val mii : Vliw_arch.Config.t -> Vliw_ir.Ddg.t -> latency:(int -> int) -> int
+(** [max res_mii rec_mii]. *)

@@ -1,0 +1,111 @@
+module Access = Vliw_arch.Access
+module Config = Vliw_arch.Config
+module Ddg = Vliw_ir.Ddg
+module Loop = Vliw_ir.Loop
+module Mem_access = Vliw_ir.Mem_access
+module Operation = Vliw_ir.Operation
+module Pipeline = Vliw_core.Pipeline
+module Profile = Vliw_core.Profile
+module Schedule = Vliw_sched.Schedule
+
+let default_unclear_threshold = 0.9
+
+(* Static per-operation inputs to the Figure-5 factor classification. *)
+let stall_factors cfg (c : Pipeline.compiled) ~unclear_threshold op =
+  let ddg = c.Pipeline.loop.Loop.ddg in
+  let ni = Config.max_unroll cfg in
+  match (Ddg.op ddg op).Operation.mem with
+  | None -> []
+  | Some m ->
+      let factors = ref [] in
+      let add cond f = if cond then factors := f :: !factors in
+      add
+        (m.Mem_access.indirect || m.Mem_access.stride mod ni <> 0)
+        Stats.More_than_one_cluster;
+      add
+        (m.Mem_access.granularity > cfg.Config.interleaving_factor)
+        Stats.Granularity;
+      (match Profile.get c.Pipeline.profile op with
+      | Some p ->
+          add (Profile.distribution p < unclear_threshold)
+            Stats.Unclear_preferred;
+          add
+            (c.Pipeline.schedule.Schedule.cluster.(op)
+            <> Profile.preferred_cluster p)
+            Stats.Not_in_preferred
+      | None -> ());
+      !factors
+
+let run_loop cfg machine (c : Pipeline.compiled) ~addr_of ?attractable
+    ?(unclear_threshold = default_unclear_threshold) () =
+  let ddg = c.Pipeline.loop.Loop.ddg in
+  let sched = c.Pipeline.schedule in
+  let trip = c.Pipeline.loop.Loop.trip_count in
+  let ii = sched.Schedule.ii in
+  let mem_ops =
+    Ddg.memory_ops ddg
+    |> List.sort (fun a b ->
+           compare sched.Schedule.start.(a) sched.Schedule.start.(b))
+  in
+  let factors_of =
+    let cache = Hashtbl.create 16 in
+    fun op ->
+      match Hashtbl.find_opt cache op with
+      | Some f -> f
+      | None ->
+          let f = stall_factors cfg c ~unclear_threshold op in
+          Hashtbl.add cache op f;
+          f
+  in
+  let stats = Stats.create () in
+  let stall = ref 0 in
+  for iter = 0 to trip - 1 do
+    List.iter
+      (fun op ->
+        let issue = (iter * ii) + sched.Schedule.start.(op) + !stall in
+        let o = Ddg.op ddg op in
+        let store = Operation.is_store o in
+        let attract =
+          match attractable with None -> true | Some flags -> flags.(op)
+        in
+        (* Elements wider than the interleaving factor span several
+           clusters: the access completes when its slowest part does and
+           is classified by that part (so a double-word access can never
+           be a plain local hit — Section 5.2). *)
+        let i_factor = cfg.Config.interleaving_factor in
+        let granularity =
+          match o.Operation.mem with
+          | Some m -> m.Vliw_ir.Mem_access.granularity
+          | None -> i_factor
+        in
+        let parts = max 1 ((granularity + i_factor - 1) / i_factor) in
+        let base_addr = addr_of ~op ~iter in
+        let part p =
+          Machine.access machine ~attract ~now:issue
+            ~cluster:sched.Schedule.cluster.(op)
+            ~addr:(base_addr + (p * i_factor))
+            ~store ()
+        in
+        let r = ref (part 0) in
+        for p = 1 to parts - 1 do
+          let rp = part p in
+          if rp.Access.ready_at >= !r.Access.ready_at then r := rp
+        done;
+        let r = !r in
+        Stats.count_access stats r.Access.kind;
+        if not store then begin
+          let promised = issue + c.Pipeline.latencies.(op) in
+          let s = r.Access.ready_at - promised in
+          if s > 0 then begin
+            stall := !stall + s;
+            Stats.count_stall stats r.Access.kind ~cycles:s;
+            if r.Access.kind = Access.Remote_hit then
+              List.iter (Stats.count_stall_factor stats) (factors_of op)
+          end
+        end)
+      mem_ops
+  done;
+  Stats.add_compute stats
+    ((trip + Schedule.stage_count sched - 1) * ii);
+  Machine.end_of_loop machine;
+  stats

@@ -1,0 +1,33 @@
+(** Cycle-level execution of one modulo-scheduled loop over a memory
+    system.
+
+    VLIW lockstep stall model: the machine issues the schedule verbatim;
+    when a load's datum arrives after the cycle the schedule promised
+    (issue + assigned latency), the whole machine stalls for the
+    difference.  Loads scheduled with a latency at least as large as the
+    access's true latency therefore never stall — the property the
+    latency-assignment pass is designed around.  Stores never stall the
+    pipeline (nothing consumes them in-core), but their accesses are
+    classified like any other.
+
+    Compute time is [(trip_count + SC - 1) * II]; every stall cycle is
+    attributed to the access class that caused it, and stalling remote
+    hits are further classified by the paper's four factors. *)
+
+val default_unclear_threshold : float
+(** Preferred-cluster distribution below which an operation counts as
+    having "unclear preferred cluster information" (0.9). *)
+
+val run_loop :
+  Vliw_arch.Config.t ->
+  Machine.t ->
+  Vliw_core.Pipeline.compiled ->
+  addr_of:(op:int -> iter:int -> int) ->
+  ?attractable:bool array ->
+  ?unclear_threshold:float ->
+  unit ->
+  Stats.t
+(** Execute every iteration of the compiled (already unrolled) loop,
+    then signal end-of-loop to the memory system (attraction-buffer
+    flush).  [addr_of] maps an operation of the *unrolled* DDG and an
+    unrolled-iteration index to a byte address. *)

@@ -1,0 +1,67 @@
+module Arch = Vliw_arch
+
+type arch =
+  | Word_interleaved of { attraction_buffers : bool }
+  | Unified of { slow : bool }
+  | Multivliw
+
+let arch_to_string = function
+  | Word_interleaved { attraction_buffers = true } -> "interleaved+AB"
+  | Word_interleaved { attraction_buffers = false } -> "interleaved"
+  | Unified { slow = false } -> "unified(L=1)"
+  | Unified { slow = true } -> "unified(L=5)"
+  | Multivliw -> "multiVLIW"
+
+type state =
+  | Interleaved_state of Arch.Interleaved_cache.t
+  | Unified_state of Arch.Unified_cache.t
+  | Coherent_state of Arch.Coherent_cache.t
+
+type t = { arch : arch; state : state }
+
+let create cfg = function
+  | Word_interleaved { attraction_buffers } as arch ->
+      {
+        arch;
+        state =
+          Interleaved_state
+            (Arch.Interleaved_cache.create ~with_ab:attraction_buffers cfg);
+      }
+  | Unified { slow } as arch ->
+      { arch; state = Unified_state (Arch.Unified_cache.create ~slow cfg) }
+  | Multivliw as arch ->
+      { arch; state = Coherent_state (Arch.Coherent_cache.create cfg) }
+
+let arch t = t.arch
+
+let access t ?(attract = true) ~now ~cluster ~addr ~store () =
+  match t.state with
+  | Interleaved_state c ->
+      Arch.Interleaved_cache.access c ~attract ~now ~cluster ~addr ~store ()
+  | Unified_state c -> Arch.Unified_cache.access c ~now ~addr
+  | Coherent_state c -> Arch.Coherent_cache.access c ~now ~cluster ~addr ~store
+
+let end_of_loop t =
+  match t.state with
+  | Interleaved_state c -> Arch.Interleaved_cache.end_of_loop c
+  | Unified_state c -> Arch.Unified_cache.end_of_loop c
+  | Coherent_state c -> Arch.Coherent_cache.end_of_loop c
+
+let traffic_summary t =
+  match t.state with
+  | Interleaved_state c ->
+      let tr = Arch.Interleaved_cache.traffic c in
+      [
+        ("remote words", tr.Arch.Interleaved_cache.remote_words);
+        ("block fills", tr.Arch.Interleaved_cache.block_fills);
+        ("attractions", tr.Arch.Interleaved_cache.attractions);
+      ]
+  | Unified_state _ -> []
+  | Coherent_state c ->
+      let tr = Arch.Coherent_cache.traffic c in
+      [
+        ("invalidations", tr.Arch.Coherent_cache.invalidations);
+        ("cache-to-cache", tr.Arch.Coherent_cache.cache_to_cache);
+        ("memory fills", tr.Arch.Coherent_cache.memory_fills);
+        ("snoops", tr.Arch.Coherent_cache.snoops);
+      ]

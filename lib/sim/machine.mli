@@ -1,0 +1,32 @@
+(** The memory system of one simulated processor — the dispatch point
+    over the three L1 organizations the paper compares. *)
+
+type arch =
+  | Word_interleaved of { attraction_buffers : bool }
+  | Unified of { slow : bool }
+  | Multivliw
+
+val arch_to_string : arch -> string
+
+type t
+
+val create : Vliw_arch.Config.t -> arch -> t
+val arch : t -> arch
+
+val access :
+  t ->
+  ?attract:bool ->
+  now:int ->
+  cluster:int ->
+  addr:int ->
+  store:bool ->
+  unit ->
+  Vliw_arch.Access.t
+(** One word access.  [cluster] is ignored by the unified cache. *)
+
+val end_of_loop : t -> unit
+(** Attraction-buffer flush / pending-request reset between loops. *)
+
+val traffic_summary : t -> (string * int) list
+(** Architecture-specific bus/coherence traffic counters (empty for the
+    unified cache, whose traffic is just its misses). *)

@@ -1,0 +1,169 @@
+module Builder = Vliw_ir.Builder
+module Edge = Vliw_ir.Edge
+module Loop = Vliw_ir.Loop
+module Mem_access = Vliw_ir.Mem_access
+module Opcode = Vliw_ir.Opcode
+
+type mem_ref = {
+  symbol : string;
+  storage : Mem_access.storage;
+  granularity : int;
+  stride : int;
+  footprint : int;
+  offset : int;
+  indirect : bool;
+  is_store : bool;
+  chain : int option;
+  carried : bool;
+  self_carried : bool;
+}
+
+let load ?(storage = Mem_access.Global) ?(granularity = 4) ?stride
+    ?(footprint = 2048) ?(offset = 0) ?(indirect = false) ?chain
+    ?(self_carried = false) symbol =
+  {
+    symbol;
+    storage;
+    granularity;
+    stride = Option.value ~default:granularity stride;
+    footprint;
+    offset;
+    indirect;
+    is_store = false;
+    chain;
+    carried = false;
+    self_carried;
+  }
+
+let store ?(storage = Mem_access.Global) ?(granularity = 4) ?stride
+    ?(footprint = 2048) ?(offset = 0) ?chain ?(carried = false) symbol =
+  {
+    symbol;
+    storage;
+    granularity;
+    stride = Option.value ~default:granularity stride;
+    footprint;
+    offset;
+    indirect = false;
+    is_store = true;
+    chain;
+    carried;
+    self_carried = false;
+  }
+
+type spec = {
+  name : string;
+  trip_count : int;
+  weight : float;
+  refs : mem_ref list;
+  compute_per_load : int;
+  use_fp : bool;
+  accumulators : int;
+}
+
+let make ?(weight = 1.0) ?(compute_per_load = 2) ?(use_fp = false)
+    ?(accumulators = 0) ~name ~trip_count refs =
+  { name; trip_count; weight; refs; compute_per_load; use_fp; accumulators }
+
+let mem_access_of_ref r =
+  Mem_access.make ~storage:r.storage ~offset:r.offset ~indirect:r.indirect
+    ~footprint:r.footprint ~symbol:r.symbol ~stride:r.stride
+    ~granularity:r.granularity ()
+
+let build spec =
+  if spec.refs = [] then invalid_arg "Kernel.build: no memory references";
+  let b = Builder.create () in
+  (* Per-reference bookkeeping for chain edges and carried stores. *)
+  let mem_ids = ref [] in  (* (ref, op id), program order *)
+  let last_value = ref None in  (* most recent value-producing op *)
+  let last_load = ref None in
+  let alu_opcode k = if spec.use_fp && k mod 2 = 1 then Opcode.Fp_alu else Opcode.Int_alu in
+  List.iter
+    (fun r ->
+      if r.is_store then begin
+        let value =
+          match !last_value with
+          | Some v -> v
+          | None ->
+              let c = Builder.add b ~dests:[ Builder.fresh_reg b ] Opcode.Int_alu in
+              last_value := Some c;
+              c
+        in
+        let s =
+          Builder.add b ~srcs:[ Builder.fresh_reg b ]
+            ~mem:(mem_access_of_ref r) Opcode.Store
+        in
+        Builder.flow b value s;
+        mem_ids := (r, s) :: !mem_ids
+      end
+      else begin
+        let dst = Builder.fresh_reg b in
+        let l = Builder.add b ~dests:[ dst ] ~mem:(mem_access_of_ref r) Opcode.Load in
+        (* An indirect access computes its address from an earlier load. *)
+        (match (r.indirect, !last_load) with
+        | true, Some prev -> Builder.flow b prev l
+        | _ -> ());
+        (* Pointer chase / decoder state: the next iteration's address
+           comes from this load's value. *)
+        if r.self_carried then Builder.flow b ~distance:1 l l;
+        last_load := Some l;
+        (* Compute chain fed by the load. *)
+        let chain_end = ref l in
+        for k = 0 to spec.compute_per_load - 1 do
+          let c =
+            Builder.add b
+              ~dests:[ Builder.fresh_reg b ]
+              ~srcs:[ Builder.fresh_reg b ]
+              (alu_opcode k)
+          in
+          Builder.flow b !chain_end c;
+          chain_end := c
+        done;
+        last_value := Some !chain_end;
+        mem_ids := (r, l) :: !mem_ids
+      end)
+    spec.refs;
+  let mem_ids = List.rev !mem_ids in
+  (* Chain groups: consecutive members linked by unresolved memory
+     dependences. *)
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (r, id) ->
+      match r.chain with
+      | Some g ->
+          let prev = Hashtbl.find_opt groups g in
+          (match prev with
+          | Some p -> Builder.dep b ~kind:Edge.Mem_unresolved p id
+          | None -> ());
+          Hashtbl.replace groups g id
+      | None -> ())
+    mem_ids;
+  (* Carried stores: loop-carried flow back to the earlier load of the
+     same symbol (plus the intra-iteration anti-dependence), forming a
+     recurrence through memory. *)
+  List.iter
+    (fun (r, sid) ->
+      if r.is_store && r.carried then
+        match
+          List.find_opt
+            (fun (r', _) -> (not r'.is_store) && r'.symbol = r.symbol)
+            mem_ids
+        with
+        | Some (_, lid) ->
+            Builder.dep b ~kind:Edge.Mem_flow ~distance:1 sid lid;
+            Builder.dep b ~kind:Edge.Mem_anti lid sid
+        | None -> ())
+    mem_ids;
+  (* Scalar accumulators: classic loop-carried ALU recurrences. *)
+  for _ = 1 to spec.accumulators do
+    let a =
+      Builder.add b
+        ~dests:[ Builder.fresh_reg b ]
+        ~srcs:[ Builder.fresh_reg b ]
+        Opcode.Int_alu
+    in
+    Builder.flow b ~distance:1 a a;
+    match !last_value with Some v -> Builder.flow b v a | None -> ()
+  done;
+  Loop.make ~weight:spec.weight ~name:spec.name ~trip_count:spec.trip_count
+    (Builder.build b)

@@ -1,0 +1,76 @@
+(** Loop-kernel generator: builds modulo-schedulable loop DDGs from a
+    compact description of their memory streams and compute shape.
+
+    Each memory reference produces a load (followed by a configurable
+    compute chain) or a store (consuming the latest computed value).
+    References sharing a [chain] group are linked by unresolved memory
+    dependences, so they form one memory-dependent chain.  A store with
+    [carried = true] writes what the next iteration's load of the same
+    symbol reads (Mem_flow distance 1 back to it plus the intra-iteration
+    anti-dependence), creating a recurrence that contains memory
+    operations — the situation the latency-assignment pass exists for. *)
+
+type mem_ref = {
+  symbol : string;
+  storage : Vliw_ir.Mem_access.storage;
+  granularity : int;
+  stride : int;  (** bytes per iteration *)
+  footprint : int;  (** bytes of the underlying array *)
+  offset : int;
+  indirect : bool;
+  is_store : bool;
+  chain : int option;  (** memory-dependence group *)
+  carried : bool;  (** stores only: loop-carried dependence to the load *)
+  self_carried : bool;
+      (** loads only: next iteration's address depends on this load's
+          value (pointer chase / decoder state machine) — a one-node
+          recurrence whose II tracks the load's assigned latency *)
+}
+
+val load :
+  ?storage:Vliw_ir.Mem_access.storage ->
+  ?granularity:int ->
+  ?stride:int ->
+  ?footprint:int ->
+  ?offset:int ->
+  ?indirect:bool ->
+  ?chain:int ->
+  ?self_carried:bool ->
+  string ->
+  mem_ref
+(** Defaults: global, 4-byte elements, stride = granularity, 2KB
+    footprint, direct, unchained. *)
+
+val store :
+  ?storage:Vliw_ir.Mem_access.storage ->
+  ?granularity:int ->
+  ?stride:int ->
+  ?footprint:int ->
+  ?offset:int ->
+  ?chain:int ->
+  ?carried:bool ->
+  string ->
+  mem_ref
+
+type spec = {
+  name : string;
+  trip_count : int;
+  weight : float;
+  refs : mem_ref list;
+  compute_per_load : int;  (** ALU chain length after each load *)
+  use_fp : bool;  (** alternate integer and floating-point ALU ops *)
+  accumulators : int;  (** extra loop-carried scalar recurrences *)
+}
+
+val make :
+  ?weight:float ->
+  ?compute_per_load:int ->
+  ?use_fp:bool ->
+  ?accumulators:int ->
+  name:string ->
+  trip_count:int ->
+  mem_ref list ->
+  spec
+
+val build : spec -> Vliw_ir.Loop.t
+(** @raise Invalid_argument on an empty reference list. *)

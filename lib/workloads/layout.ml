@@ -1,0 +1,68 @@
+module Config = Vliw_arch.Config
+module Ddg = Vliw_ir.Ddg
+module Mem_access = Vliw_ir.Mem_access
+module Operation = Vliw_ir.Operation
+
+type run = Profile_run | Execution_run
+
+type t = {
+  cfg : Config.t;
+  aligned : bool;
+  run : run;
+  seed : int;
+  bases : (string, int) Hashtbl.t;
+}
+
+let create cfg ~aligned ~run ~seed =
+  { cfg; aligned; run; seed; bases = Hashtbl.create 32 }
+
+let run_of t = t.run
+let aligned t = t.aligned
+
+let run_salt = function Profile_run -> 0x5052 | Execution_run -> 0x4558
+
+let string_hash s = Prng.hash2 (Hashtbl.hash s) 0x1234567
+
+(* Address space: spread symbols over 1MB so distinct arrays rarely
+   overlap, word-aligned. *)
+let space = 1 lsl 20
+
+let base_of t (m : Mem_access.t) =
+  match Hashtbl.find_opt t.bases m.Mem_access.symbol with
+  | Some b -> b
+  | None ->
+      let h = string_hash m.Mem_access.symbol in
+      let b =
+        match m.Mem_access.storage with
+        | Mem_access.Global ->
+            (* Same address whatever the input: no run salt. *)
+            h mod space / 4 * 4
+        | Mem_access.Stack | Mem_access.Heap ->
+            let h = Prng.hash2 h (run_salt t.run + t.seed) in
+            let raw = h mod space / 4 * 4 in
+            if t.aligned then
+              let ni = Config.max_unroll t.cfg in
+              (raw + ni - 1) / ni * ni
+            else raw
+      in
+      Hashtbl.add t.bases m.Mem_access.symbol b;
+      b
+
+let address t (m : Mem_access.t) ~op ~iter =
+  let base = base_of t m in
+  let g = m.Mem_access.granularity in
+  let fp = if m.Mem_access.footprint > 0 then m.Mem_access.footprint else space in
+  let off =
+    if m.Mem_access.indirect then
+      (* A stable pseudo-random walk of the footprint, different between
+         the two runs (different input data drive the indices). *)
+      let h = Prng.hash2 (string_hash m.Mem_access.symbol + op) (iter + run_salt t.run + t.seed) in
+      h mod (max 1 (fp / g)) * g
+    else m.Mem_access.offset + (iter * m.Mem_access.stride) mod fp
+  in
+  base + off
+
+let addr_fn t ddg ~op ~iter =
+  match (Ddg.op ddg op).Operation.mem with
+  | Some m -> address t m ~op ~iter
+  | None -> invalid_arg "Layout.addr_fn: not a memory operation"

@@ -1,0 +1,539 @@
+module Mem_access = Vliw_ir.Mem_access
+
+let ld = Kernel.load
+let st = Kernel.store
+let heap = Mem_access.Heap
+let stack = Mem_access.Stack
+
+(* Shorthand: a benchmark. *)
+let bench name description kernels = { Benchspec.name; description; kernels }
+
+(* ------------------------------------------------------------------ *)
+(* epic: image compression by pyramid decomposition.  4-byte data;
+   memory-dependent chains cost it dearly (local hit ratio -37%), and
+   one loop schedules 19 chained memory operations into one cluster,
+   overflowing the Attraction Buffer (Section 5.2). *)
+
+let epicdec =
+  let unquantize =
+    (* 19 memory operations in a single unresolved chain. *)
+    let refs =
+      (* Offsets a block apart: the unrolled loop keeps ~30 subblocks
+         live, overflowing a 16-entry Attraction Buffer (Section 5.2). *)
+      List.init 14 (fun i ->
+          ld ~storage:heap ~footprint:4096
+            ~offset:((32 * i) + (4 * (i mod 4)))
+            ~chain:0 "epic_qimg")
+      @ List.init 5 (fun i ->
+            st ~storage:heap ~footprint:4096
+              ~offset:((32 * i) + (4 * (i mod 4)))
+              ~chain:0 ~carried:(i = 0) "epic_qimg")
+    in
+    Kernel.make ~weight:2.0 ~compute_per_load:1 ~name:"unquantize"
+      ~trip_count:1600 refs
+  in
+  let build_tree =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~accumulators:1
+      ~name:"build_tree" ~trip_count:1600
+      [
+        ld ~storage:heap ~footprint:2048 ~chain:0 "epic_sym";
+        ld ~storage:heap ~footprint:2048 ~offset:4 ~chain:0 "epic_freq";
+        st ~storage:heap ~footprint:2048 ~chain:0 ~carried:true "epic_sym";
+      ]
+  in
+  let filter =
+    Kernel.make ~weight:2.0 ~compute_per_load:3 ~use_fp:true ~name:"filter"
+      ~trip_count:3200
+      [
+        ld ~storage:heap ~footprint:16384 "epic_img";
+        ld ~storage:heap ~footprint:16384 ~offset:4 "epic_img";
+        ld ~footprint:256 "epic_kernel";
+        ld ~footprint:256 ~offset:4 "epic_kernel";
+        st ~storage:heap ~footprint:16384 "epic_out";
+      ]
+  in
+  let collapse =
+    Kernel.make ~weight:0.5 ~compute_per_load:2 ~name:"collapse"
+      ~trip_count:1600
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:1024 "epic_lut";
+        ld ~storage:heap ~footprint:4096 "epic_pyr2";
+        st ~storage:heap ~footprint:4096 "epic_res";
+      ]
+  in
+  bench "epicdec" "EPIC decoder: pyramid reconstruction, chain-heavy"
+    [ unquantize; build_tree; filter; collapse ]
+
+let epicenc =
+  let quantize =
+    (* Indirect bin lookups: "unclear" preferred-cluster information
+       (distribution 0.57 in the paper). *)
+    Kernel.make ~weight:2.0 ~compute_per_load:2 ~name:"quantize"
+      ~trip_count:1600
+      [
+        ld ~storage:heap ~footprint:16384 "enc_img";
+        ld ~indirect:true ~footprint:2048 "enc_bins";
+        ld ~indirect:true ~footprint:2048 ~offset:4 "enc_bins";
+        st ~storage:heap ~footprint:16384 "enc_q";
+      ]
+  in
+  let dct =
+    Kernel.make ~weight:2.0 ~compute_per_load:3 ~use_fp:true ~name:"dct"
+      ~trip_count:3200
+      [
+        ld ~storage:heap ~footprint:16384 "enc_img2";
+        ld ~storage:heap ~footprint:16384 ~offset:4 "enc_img2";
+        ld ~footprint:128 "enc_coef";
+        st ~storage:heap ~footprint:16384 "enc_tmp";
+      ]
+  in
+  let reduce =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~accumulators:1
+      ~name:"reduce" ~trip_count:1600
+      [
+        ld ~storage:heap ~footprint:8192 "enc_tmp2";
+        ld ~storage:stack ~footprint:512 "enc_acc";
+        st ~storage:stack ~footprint:512 ~carried:true "enc_acc";
+      ]
+  in
+  let upsample =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~use_fp:true ~name:"upsample"
+      ~trip_count:1600
+      [
+        ld ~storage:heap ~footprint:8192 "enc_lo";
+        ld ~storage:heap ~footprint:8192 ~offset:4 "enc_lo";
+        st ~storage:heap ~footprint:16384 "enc_hi";
+      ]
+  in
+  bench "epicenc" "EPIC encoder: DCT + quantization with indirect bins"
+    [ quantize; dct; reduce; upsample ]
+
+(* ------------------------------------------------------------------ *)
+(* g721: ADPCM voice codec.  2-byte samples, tiny working set: nearly
+   everything hits, stall time is negligible (the paper omits its stall
+   bars). *)
+
+let g721 name salt =
+  let predict =
+    Kernel.make ~weight:2.0 ~compute_per_load:2 ~accumulators:2
+      ~name:"predict" ~trip_count:3200
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:384 (salt ^ "_b");
+        ld ~granularity:2 ~stride:2 ~footprint:384 ~offset:2 (salt ^ "_dq");
+        ld ~granularity:2 ~stride:2 ~footprint:384 ~offset:4 (salt ^ "_w");
+        st ~granularity:2 ~stride:2 ~footprint:384 ~carried:true (salt ^ "_b");
+      ]
+  in
+  let update =
+    Kernel.make ~weight:1.5 ~compute_per_load:2 ~name:"update"
+      ~trip_count:3200
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:256 (salt ^ "_y");
+        ld ~granularity:2 ~stride:2 ~footprint:256 ~offset:2 (salt ^ "_yl");
+        st ~granularity:2 ~stride:2 ~footprint:256 (salt ^ "_out");
+      ]
+  in
+  let tables =
+    Kernel.make ~weight:0.5 ~compute_per_load:1 ~name:"tables"
+      ~trip_count:1600
+      [
+        ld ~footprint:512 (salt ^ "_qtab");
+        st ~granularity:2 ~stride:2 ~footprint:256 ~storage:stack
+          (salt ^ "_stk");
+      ]
+  in
+  let reconstruct =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~accumulators:1
+      ~name:"reconstruct" ~trip_count:3200
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:256 (salt ^ "_dqln");
+        ld ~granularity:2 ~stride:2 ~footprint:256 ~offset:2 (salt ^ "_sr");
+        st ~granularity:2 ~stride:2 ~footprint:256 (salt ^ "_sr2");
+      ]
+  in
+  bench name "G.721 ADPCM: tiny working set, negligible stall"
+    [ predict; update; tables; reconstruct ]
+
+let g721dec = g721 "g721dec" "g7d"
+let g721enc = g721 "g721enc" "g7e"
+
+(* ------------------------------------------------------------------ *)
+(* gsm: full-rate speech codec.  99% 2-byte data.  gsmdec holds the
+   paper's variable-alignment example: a dynamically allocated 120 x 2B
+   array walked with a 16-byte stride whose preferred cluster moves with
+   the input unless malloc results are padded. *)
+
+let gsm name salt =
+  let lpc =
+    Kernel.make ~weight:2.0 ~compute_per_load:2 ~accumulators:1 ~name:"lpc"
+      ~trip_count:3200
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:480 ~storage:heap (salt ^ "_so");
+        ld ~granularity:2 ~stride:2 ~footprint:480 ~offset:2 ~storage:heap
+          (salt ^ "_so");
+        ld ~granularity:2 ~stride:2 ~footprint:480 ~storage:heap (salt ^ "_L");
+        st ~granularity:2 ~stride:2 ~footprint:480 ~storage:heap (salt ^ "_d");
+      ]
+  in
+  let dyn16 =
+    (* The Section 4.3.4 example: 2-byte elements, 16-byte stride,
+       dynamically allocated. *)
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~name:"dyn16"
+      ~trip_count:1600
+      [
+        ld ~granularity:2 ~stride:16 ~footprint:240 ~storage:heap
+          ~self_carried:true (salt ^ "_dyn");
+        st ~granularity:2 ~stride:2 ~footprint:480 ~storage:heap
+          (salt ^ "_xm");
+      ]
+  in
+  let filt =
+    Kernel.make ~weight:2.0 ~compute_per_load:3 ~accumulators:1 ~name:"filt"
+      ~trip_count:3200
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:64 (salt ^ "_rp");
+        ld ~granularity:2 ~stride:2 ~footprint:640 ~storage:heap ~chain:0
+          (salt ^ "_u");
+        ld ~granularity:2 ~stride:2 ~footprint:640 ~offset:8 ~storage:heap
+          ~chain:0 (salt ^ "_u");
+        st ~granularity:2 ~stride:2 ~footprint:640 ~storage:heap ~chain:0
+          ~carried:true (salt ^ "_u");
+      ]
+  in
+  let shortterm =
+    Kernel.make ~weight:1.5 ~compute_per_load:2 ~name:"shortterm"
+      ~trip_count:3200
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:320 (salt ^ "_rrp");
+        ld ~granularity:2 ~stride:2 ~footprint:640 ~storage:heap
+          (salt ^ "_sk");
+        st ~granularity:2 ~stride:2 ~footprint:640 ~storage:heap
+          (salt ^ "_sk2");
+      ]
+  in
+  bench name "GSM 06.10: 2-byte samples, alignment-sensitive dynamic array"
+    [ lpc; dyn16; filt; shortterm ]
+
+let gsmdec = gsm "gsmdec" "gsd"
+let gsmenc = gsm "gsmenc" "gse"
+
+(* ------------------------------------------------------------------ *)
+(* jpeg: 1-byte pixels dominate the decoder (53%), with 40% indirect
+   accesses (Huffman and color lookup tables) and very unclear preferred
+   clusters (distribution 0.81). *)
+
+let jpegdec =
+  let color =
+    Kernel.make ~weight:2.0 ~compute_per_load:2 ~name:"color"
+      ~trip_count:3200
+      [
+        ld ~granularity:1 ~stride:1 ~footprint:8192 ~storage:heap "jpd_ycc";
+        ld ~granularity:1 ~stride:1 ~footprint:8192 ~offset:1 ~storage:heap
+          "jpd_ycc";
+        st ~granularity:1 ~stride:1 ~footprint:8192 ~storage:heap "jpd_rgb";
+      ]
+  in
+  let huffman =
+    Kernel.make ~weight:1.0 ~compute_per_load:1 ~name:"huffman"
+      ~trip_count:800
+      [
+        ld ~granularity:1 ~indirect:true ~footprint:1024 ~self_carried:true
+          "jpd_htab";
+        ld ~granularity:1 ~indirect:true ~footprint:1024 "jpd_htab2";
+        ld ~granularity:1 ~indirect:true ~footprint:2048 "jpd_sym";
+        st ~granularity:2 ~stride:2 ~footprint:2048 ~storage:heap "jpd_coef";
+      ]
+  in
+  let idct =
+    Kernel.make ~weight:1.5 ~compute_per_load:3 ~name:"idct"
+      ~trip_count:1600
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:2048 ~storage:heap "jpd_blk";
+        ld ~indirect:true ~footprint:1024 "jpd_quant";
+        st ~granularity:1 ~stride:1 ~footprint:4096 ~storage:heap "jpd_pix";
+      ]
+  in
+  let upsample =
+    Kernel.make ~weight:1.0 ~compute_per_load:1 ~name:"upsample"
+      ~trip_count:1600
+      [
+        ld ~granularity:1 ~stride:2 ~footprint:4096 ~storage:heap "jpd_cb";
+        ld ~granularity:1 ~stride:2 ~footprint:4096 ~storage:heap "jpd_cr";
+        st ~granularity:1 ~stride:1 ~footprint:8192 ~storage:heap "jpd_up";
+      ]
+  in
+  bench "jpegdec" "JPEG decoder: byte pixels, heavy indirect table lookups"
+    [ color; huffman; idct; upsample ]
+
+let jpegenc =
+  let fdct =
+    (* The paper's loop 67: IBC finds a tighter II than IPBC, which pays
+       extra register-to-register communications. *)
+    Kernel.make ~weight:2.0 ~compute_per_load:2 ~use_fp:true ~name:"fdct"
+      ~trip_count:3200
+      [
+        ld ~storage:heap ~footprint:8192 "jpe_blk";
+        ld ~storage:heap ~footprint:8192 ~offset:4 "jpe_blk";
+        ld ~storage:heap ~footprint:8192 ~offset:8 "jpe_blk";
+        ld ~footprint:256 "jpe_coef";
+        st ~storage:heap ~footprint:8192 "jpe_tmp";
+        st ~storage:heap ~footprint:8192 ~offset:4 "jpe_tmp";
+      ]
+  in
+  let sample =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~name:"sample"
+      ~trip_count:1600
+      [
+        ld ~granularity:1 ~stride:2 ~footprint:8192 ~storage:heap "jpe_in";
+        ld ~granularity:1 ~stride:2 ~footprint:8192 ~offset:1 ~storage:heap
+          "jpe_in";
+        st ~storage:heap ~footprint:4096 "jpe_samp";
+      ]
+  in
+  let huff =
+    Kernel.make ~weight:0.5 ~compute_per_load:1 ~accumulators:1 ~name:"huff"
+      ~trip_count:800
+      [
+        ld ~indirect:true ~footprint:1024 ~self_carried:true "jpe_htab";
+        ld ~indirect:true ~footprint:1024 "jpe_code";
+        ld ~storage:heap ~footprint:2048 "jpe_zz";
+        st ~granularity:1 ~stride:1 ~footprint:2048 ~storage:heap "jpe_out";
+      ]
+  in
+  bench "jpegenc" "JPEG encoder: 4-byte DCT data, some indirect tables"
+    [ fdct; sample; huff ]
+
+(* ------------------------------------------------------------------ *)
+(* mpeg2dec: about half of all accesses are double precision (8 bytes,
+   wider than the interleaving factor) — always partly remote, but kept
+   out of recurrences, so the scheduler hides them behind large
+   latencies and they cause no stall (Section 5.2). *)
+
+let mpeg2dec =
+  let motion =
+    Kernel.make ~weight:2.0 ~compute_per_load:2 ~name:"motion"
+      ~trip_count:1600
+      [
+        ld ~granularity:8 ~stride:8 ~footprint:32768 ~storage:heap "mpg_ref";
+        ld ~granularity:8 ~stride:8 ~footprint:32768 ~offset:8 ~storage:heap
+          "mpg_ref";
+        ld ~granularity:8 ~stride:8 ~footprint:32768 ~storage:heap "mpg_cur";
+        st ~granularity:8 ~stride:8 ~footprint:32768 ~storage:heap "mpg_out";
+      ]
+  in
+  let idct =
+    Kernel.make ~weight:1.5 ~compute_per_load:3 ~name:"idct"
+      ~trip_count:1600
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:2048 ~storage:heap ~chain:0
+          "mpg_blk";
+        ld ~granularity:2 ~stride:2 ~footprint:2048 ~offset:8 ~storage:heap
+          ~chain:0 "mpg_blk";
+        st ~granularity:2 ~stride:2 ~footprint:2048 ~storage:heap ~chain:0
+          ~carried:true "mpg_blk";
+      ]
+  in
+  let addblock =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~name:"addblock"
+      ~trip_count:1600
+      [
+        ld ~granularity:8 ~stride:8 ~footprint:16384 ~storage:heap "mpg_pred";
+        ld ~granularity:1 ~stride:1 ~footprint:4096 ~storage:heap "mpg_pix";
+        st ~granularity:1 ~stride:1 ~footprint:4096 ~storage:heap "mpg_pix2";
+      ]
+  in
+  let recon =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~name:"recon"
+      ~trip_count:1600
+      [
+        ld ~granularity:8 ~stride:8 ~footprint:32768 ~storage:heap "mpg_fwd";
+        ld ~granularity:8 ~stride:8 ~footprint:32768 ~storage:heap "mpg_bwd";
+        st ~granularity:8 ~stride:8 ~footprint:32768 ~storage:heap "mpg_rec";
+      ]
+  in
+  bench "mpeg2dec" "MPEG-2 decoder: ~50% double-precision accesses"
+    [ motion; idct; addblock; recon ]
+
+(* ------------------------------------------------------------------ *)
+(* pegwit: elliptic-curve cryptography.  2-byte digits; the decoder is
+   almost entirely indirect (93%), the encoder much less (13%). *)
+
+let pegwitdec =
+  let gf_mul =
+    Kernel.make ~weight:2.0 ~compute_per_load:2 ~name:"gf_mul"
+      ~trip_count:3200
+      [
+        ld ~granularity:2 ~indirect:true ~footprint:1024 "pwd_log";
+        ld ~granularity:2 ~indirect:true ~footprint:1024 "pwd_alog";
+        ld ~granularity:2 ~indirect:true ~footprint:2048 "pwd_a";
+        ld ~granularity:2 ~indirect:true ~footprint:2048 "pwd_b";
+        st ~granularity:2 ~stride:2 ~footprint:2048 ~storage:stack "pwd_r";
+      ]
+  in
+  let gf_reduce =
+    Kernel.make ~weight:1.0 ~compute_per_load:1 ~name:"gf_reduce"
+      ~trip_count:800
+      [
+        ld ~granularity:2 ~indirect:true ~footprint:2048 "pwd_p";
+        ld ~granularity:2 ~indirect:true ~footprint:1024 "pwd_mask";
+        ld ~granularity:2 ~indirect:true ~footprint:2048 ~self_carried:true
+          "pwd_t";
+      ]
+  in
+  let hash =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~accumulators:1 ~name:"hash"
+      ~trip_count:1600
+      [
+        ld ~granularity:2 ~indirect:true ~footprint:1024 "pwd_sbox";
+        ld ~granularity:2 ~indirect:true ~footprint:1024 "pwd_sbox2";
+        ld ~granularity:4 ~stride:4 ~footprint:2048 ~storage:heap "pwd_msg";
+        st ~granularity:2 ~stride:2 ~footprint:512 ~storage:stack "pwd_h";
+      ]
+  in
+  bench "pegwitdec" "Pegwit decryption: 93% indirect GF(2^m) table walks"
+    [ gf_mul; gf_reduce; hash ]
+
+let pegwitenc =
+  let gf_add =
+    Kernel.make ~weight:2.0 ~compute_per_load:2 ~name:"gf_add"
+      ~trip_count:3200
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:2048 ~storage:heap "pwe_a";
+        ld ~granularity:2 ~stride:2 ~footprint:2048 ~offset:2 ~storage:heap
+          "pwe_b";
+        st ~granularity:2 ~stride:2 ~footprint:2048 ~storage:heap "pwe_r";
+      ]
+  in
+  let shift =
+    Kernel.make ~weight:1.5 ~compute_per_load:2 ~accumulators:1 ~name:"shift"
+      ~trip_count:3200
+      [
+        ld ~granularity:2 ~indirect:true ~footprint:1024 "pwe_tab";
+        ld ~granularity:2 ~stride:2 ~footprint:1024 ~storage:stack "pwe_v";
+        st ~granularity:2 ~stride:2 ~footprint:1024 ~storage:stack
+          ~carried:true "pwe_v";
+      ]
+  in
+  let sponge =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~name:"sponge"
+      ~trip_count:1600
+      [
+        ld ~granularity:2 ~stride:2 ~footprint:2048 ~storage:heap "pwe_msg";
+        ld ~granularity:4 ~stride:4 ~footprint:512 "pwe_key";
+        st ~granularity:2 ~stride:2 ~footprint:2048 ~storage:heap "pwe_ct";
+      ]
+  in
+  bench "pegwitenc" "Pegwit encryption: mostly strided digits, 13% indirect"
+    [ gf_add; shift; sponge ]
+
+(* ------------------------------------------------------------------ *)
+(* pgp: multiprecision arithmetic.  4-byte digits in long chains of
+   dependent loads/stores (disambiguation fails over digit arrays), the
+   chains costing 25%/20% of the local hit ratio. *)
+
+let pgp name salt chain_weight ~byte_io =
+  let mp_mul =
+    let refs =
+      List.init 6 (fun i ->
+          ld ~storage:heap ~footprint:64 ~offset:(4 * i) ~chain:0
+            (salt ^ "_x"))
+      @ [
+          ld ~storage:heap ~footprint:64 ~offset:4 ~chain:0 (salt ^ "_y");
+          st ~storage:heap ~footprint:64 ~chain:0 ~carried:true (salt ^ "_x");
+        ]
+    in
+    Kernel.make ~weight:chain_weight ~compute_per_load:2 ~name:"mp_mul"
+      ~trip_count:1600 refs
+  in
+  let mp_add =
+    Kernel.make ~weight:1.5 ~compute_per_load:1 ~accumulators:1
+      ~name:"mp_add" ~trip_count:3200
+      [
+        ld ~storage:heap ~footprint:2048 ~chain:0 (salt ^ "_u");
+        ld ~storage:heap ~footprint:2048 ~offset:8 ~chain:0 (salt ^ "_v");
+        st ~storage:heap ~footprint:2048 ~chain:0 (salt ^ "_w");
+      ]
+  in
+  let sieve =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~name:"sieve"
+      ~trip_count:1600
+      [
+        ld ~storage:heap ~footprint:8192 (salt ^ "_s");
+        ld ~granularity:1 ~stride:1 ~footprint:4096 (salt ^ "_bits");
+        st ~storage:heap ~footprint:8192 (salt ^ "_s2");
+      ]
+  in
+  let armor =
+    (* Radix-64 armoring: byte I/O, encoder only. *)
+    Kernel.make ~weight:1.0 ~compute_per_load:1 ~name:"armor"
+      ~trip_count:3200
+      [
+        ld ~granularity:1 ~stride:1 ~footprint:4096 ~storage:heap
+          (salt ^ "_raw");
+        ld ~granularity:1 ~indirect:true ~footprint:256 (salt ^ "_b64");
+        st ~granularity:1 ~stride:1 ~footprint:4096 ~storage:heap
+          (salt ^ "_arm");
+      ]
+  in
+  bench name "PGP multiprecision arithmetic: chain-bound digit loops"
+    (if byte_io then [ mp_mul; mp_add; sieve; armor ]
+     else [ mp_mul; mp_add; sieve ])
+
+let pgpdec = pgp "pgpdec" "pgd" 2.0 ~byte_io:false
+let pgpenc = pgp "pgpenc" "pge" 1.5 ~byte_io:true
+
+(* ------------------------------------------------------------------ *)
+(* rasta: speech feature extraction; floating-point filterbanks over
+   4-byte data with chained state updates. *)
+
+let rasta =
+  let filterbank =
+    Kernel.make ~weight:2.0 ~compute_per_load:3 ~use_fp:true
+      ~name:"filterbank" ~trip_count:3200
+      [
+        ld ~storage:heap ~footprint:4096 ~chain:0 "ras_spec";
+        ld ~storage:heap ~footprint:4096 ~offset:4 ~chain:0 "ras_spec";
+        ld ~footprint:512 "ras_wts";
+        st ~storage:heap ~footprint:4096 ~chain:0 ~carried:true "ras_spec";
+      ]
+  in
+  let bandpass =
+    Kernel.make ~weight:1.5 ~compute_per_load:2 ~use_fp:true ~name:"bandpass"
+      ~trip_count:3200
+      [
+        ld ~storage:heap ~footprint:128 ~chain:0 "ras_hist";
+        ld ~storage:heap ~footprint:128 ~offset:8 ~chain:0 "ras_hist";
+        st ~storage:heap ~footprint:128 ~chain:0 ~carried:true "ras_hist";
+      ]
+  in
+  let cepstrum =
+    Kernel.make ~weight:1.0 ~compute_per_load:2 ~use_fp:true ~accumulators:1
+      ~name:"cepstrum" ~trip_count:1600
+      [
+        ld ~storage:heap ~footprint:4096 "ras_env";
+        ld ~footprint:256 "ras_cos";
+        st ~storage:stack ~footprint:512 "ras_cep";
+      ]
+  in
+  let spectrum =
+    Kernel.make ~weight:1.0 ~compute_per_load:3 ~use_fp:true ~accumulators:1
+      ~name:"spectrum" ~trip_count:1600
+      [
+        ld ~storage:heap ~footprint:4096 "ras_fft";
+        ld ~storage:heap ~footprint:4096 ~offset:4 "ras_fft";
+        st ~storage:heap ~footprint:2048 "ras_pow";
+      ]
+  in
+  bench "rasta" "RASTA speech analysis: FP filterbanks with chained state"
+    [ filterbank; bandpass; cepstrum; spectrum ]
+
+let all =
+  [
+    epicdec; epicenc; g721dec; g721enc; gsmdec; gsmenc; jpegdec; jpegenc;
+    mpeg2dec; pegwitdec; pegwitenc; pgpdec; pgpenc; rasta;
+  ]
+
+let names = List.map (fun (b : Benchspec.t) -> b.Benchspec.name) all
+
+let find name =
+  List.find (fun (b : Benchspec.t) -> b.Benchspec.name = name) all

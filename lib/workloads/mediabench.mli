@@ -1,0 +1,18 @@
+(** The synthetic Mediabench suite.
+
+    Fourteen benchmarks mirroring the measurable characteristics the
+    paper reports for its Mediabench subset (Table 1 and Section 5.2):
+    dominant access size, indirect-access share, importance of
+    memory-dependent chains, double-precision share, negligible-stall
+    benchmarks, the epicdec loop whose 19-instruction chain overflows the
+    Attraction Buffer, and the gsmdec dynamically-allocated array whose
+    preferred cluster moves between inputs (the variable-alignment
+    example).  See DESIGN.md for the substitution rationale. *)
+
+val all : Benchspec.t list
+(** The 14 benchmarks, in the paper's order. *)
+
+val names : string list
+
+val find : string -> Benchspec.t
+(** @raise Not_found for an unknown name. *)

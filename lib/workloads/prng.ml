@@ -1,0 +1,27 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let next_int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.next_int: bound <= 0";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int bound))
+
+let next_float t =
+  let bits = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  bits /. 9007199254740992.0 (* 2^53 *)
+
+let hash2 a b =
+  let z = Int64.add (Int64.mul (Int64.of_int a) golden) (Int64.of_int b) in
+  (* Keep 62 bits so the result fits OCaml's int non-negatively. *)
+  Int64.to_int (Int64.shift_right_logical (mix z) 2)

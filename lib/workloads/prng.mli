@@ -1,0 +1,19 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Everything in the workload suite is seeded explicitly so that every
+    run of every experiment is byte-for-byte reproducible; the OCaml
+    [Random] module and wall-clock seeds are deliberately not used. *)
+
+type t
+
+val create : seed:int -> t
+
+val next_int : t -> bound:int -> int
+(** Uniform in [0, bound); @raise Invalid_argument if [bound <= 0]. *)
+
+val next_float : t -> float
+(** Uniform in [0, 1). *)
+
+val hash2 : int -> int -> int
+(** Stateless 64-bit mix of two integers — non-negative result.  Used
+    for stable per-(symbol, iteration) address streams. *)

@@ -1,0 +1,68 @@
+module Config = Vliw_arch.Config
+module Set_assoc = Vliw_arch.Set_assoc
+module Ddg = Vliw_ir.Ddg
+module Loop = Vliw_ir.Loop
+module Operation = Vliw_ir.Operation
+module Profile = Vliw_core.Profile
+
+let iteration_cap = 4096
+
+let profile_loop (cfg : Config.t) layout (loop : Loop.t) =
+  let ddg = loop.Loop.ddg in
+  let n = Ddg.n_ops ddg in
+  let mem_ops = Ddg.memory_ops ddg in
+  let n_blocks = cfg.Config.cache_size / cfg.Config.block_size in
+  let tags =
+    Set_assoc.create
+      ~sets:(n_blocks / cfg.Config.associativity)
+      ~ways:cfg.Config.associativity
+  in
+  let hits = Array.make n 0 in
+  let counts = Array.make n 0 in
+  let clusters = Array.make_matrix n cfg.Config.n_clusters 0 in
+  let iters = min loop.Loop.trip_count iteration_cap in
+  for iter = 0 to iters - 1 do
+    List.iter
+      (fun op ->
+        let addr = Layout.addr_fn layout ddg ~op ~iter in
+        let o = Ddg.op ddg op in
+        let granularity =
+          match o.Operation.mem with
+          | Some m -> m.Vliw_ir.Mem_access.granularity
+          | None -> cfg.Config.interleaving_factor
+        in
+        let parts =
+          max 1
+            ((granularity + cfg.Config.interleaving_factor - 1)
+            / cfg.Config.interleaving_factor)
+        in
+        let block = Config.block_of_addr cfg addr in
+        if Set_assoc.lookup tags block then hits.(op) <- hits.(op) + 1
+        else ignore (Set_assoc.insert tags block);
+        for p = 1 to parts - 1 do
+          let bp =
+            Config.block_of_addr cfg (addr + (p * cfg.Config.interleaving_factor))
+          in
+          if not (Set_assoc.lookup tags bp) then ignore (Set_assoc.insert tags bp)
+        done;
+        counts.(op) <- counts.(op) + 1;
+        let c = Config.cluster_of_addr cfg addr in
+        clusters.(op).(c) <- clusters.(op).(c) + 1)
+      mem_ops
+  done;
+  let profile = Profile.empty ~n_ops:n in
+  List.iter
+    (fun op ->
+      let total = max 1 counts.(op) in
+      let fractions =
+        Array.map (fun c -> float_of_int c /. float_of_int total) clusters.(op)
+      in
+      profile.(op) <-
+        Some
+          (Profile.make_op
+             ~hit_rate:(float_of_int hits.(op) /. float_of_int total)
+             ~cluster_fractions:fractions ~accesses:counts.(op)))
+    mem_ops;
+  profile
+
+let profiler = profile_loop

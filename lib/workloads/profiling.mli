@@ -1,0 +1,17 @@
+(** The profile run: replay a loop's address streams on a cache-presence
+    model and record, per memory operation, its hit rate and the
+    distribution of its accesses over the clusters.  This is the
+    information the paper's compiler gets from profiling with the
+    *profile data set* (Table 1). *)
+
+val iteration_cap : int
+(** Profiling replays at most this many iterations per loop (4096); hit
+    rates and cluster distributions converge far earlier. *)
+
+val profile_loop :
+  Vliw_arch.Config.t -> Layout.t -> Vliw_ir.Loop.t -> Vliw_core.Profile.t
+
+val profiler :
+  Vliw_arch.Config.t -> Layout.t -> Vliw_ir.Loop.t -> Vliw_core.Profile.t
+(** The closure shape {!Vliw_core.Pipeline.compile} expects (it calls it
+    on every unrolled candidate). *)

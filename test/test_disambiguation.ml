@@ -1,0 +1,201 @@
+(* Unit tests for the memory-disambiguation substrate. *)
+
+open Vliw_ir
+module Disambiguation = Vliw_core.Disambiguation
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let access ?(offset = 0) ?(stride = 4) ?(granularity = 4) ?(indirect = false)
+    symbol =
+  Mem_access.make ~symbol ~offset ~stride ~granularity ~indirect ()
+
+let two_op_ddg a_mem a_store b_mem b_store =
+  let b = Builder.create () in
+  let add mem is_store =
+    if is_store then Builder.add b ~srcs:[ 0 ] ~mem Opcode.Store
+    else Builder.add b ~dests:[ Builder.fresh_reg b ] ~mem Opcode.Load
+  in
+  let _ = add a_mem a_store in
+  let _ = add b_mem b_store in
+  Builder.build b
+
+let edges_of g = Disambiguation.dependences g
+
+let test_different_symbols_independent () =
+  let g = two_op_ddg (access "a") true (access "b") false in
+  check ci "no edge across symbols" 0 (List.length (edges_of g))
+
+let test_loads_never_depend () =
+  let g = two_op_ddg (access "a") false (access "a") false in
+  check ci "load-load pairs ignored" 0 (List.length (edges_of g))
+
+let test_same_address_same_iteration () =
+  let g = two_op_ddg (access "a") true (access "a") false in
+  match edges_of g with
+  | [ e ] ->
+      check cb "store -> load" true (e.Edge.src = 0 && e.Edge.dst = 1);
+      check ci "distance 0" 0 e.Edge.distance;
+      check cb "true flow dependence" true (e.Edge.kind = Edge.Mem_flow)
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 edge, got %d" (List.length es))
+
+let test_loop_carried_distance () =
+  (* store a[i] ; load a[i+2]: the load at iteration i reads what the
+     store wrote at iteration i+2 -> load -> store? No: store writes
+     o=0+4i, load reads 8+4i: store at iteration i+2 hits the load's
+     iteration-i address -> dependence load -> store would be wrong; the
+     conflict is  store(i+2) = load(i), so the *load* is first:
+     anti-dependence load -> store with distance 2. *)
+  let g = two_op_ddg (access ~offset:0 "a") true (access ~offset:8 "a") false in
+  match edges_of g with
+  | [ e ] ->
+      check cb "later-writer direction" true (e.Edge.src = 1 && e.Edge.dst = 0);
+      check ci "distance 2" 2 e.Edge.distance;
+      check cb "anti dependence" true (e.Edge.kind = Edge.Mem_anti)
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 edge, got %d" (List.length es))
+
+let test_forward_flow_distance () =
+  (* store a[i+8B] ; load a[i]: store(i) = load(i+2): store first,
+     flow store -> load with distance 2. *)
+  let g = two_op_ddg (access ~offset:8 "a") true (access ~offset:0 "a") false in
+  match edges_of g with
+  | [ e ] ->
+      check cb "store -> load" true (e.Edge.src = 0 && e.Edge.dst = 1);
+      check ci "distance 2" 2 e.Edge.distance;
+      check cb "flow" true (e.Edge.kind = Edge.Mem_flow)
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 edge, got %d" (List.length es))
+
+let test_phase_mismatch_independent () =
+  (* Offsets differing by 2 with stride 4 and 2-byte elements never
+     touch the same bytes. *)
+  let g =
+    two_op_ddg
+      (access ~offset:0 ~granularity:2 "a")
+      true
+      (access ~offset:2 ~granularity:2 "a")
+      false
+  in
+  check ci "provably disjoint" 0 (List.length (edges_of g))
+
+let test_phase_overlap_unresolved () =
+  (* 4-byte elements at offsets 0 and 2 with stride 4 do overlap. *)
+  let g = two_op_ddg (access ~offset:0 "a") true (access ~offset:2 "a") false in
+  match edges_of g with
+  | [ e ] -> check cb "unresolved" true (e.Edge.kind = Edge.Mem_unresolved)
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 edge, got %d" (List.length es))
+
+let test_indirect_unresolved () =
+  let g =
+    two_op_ddg (access "a") true (access ~indirect:true "a") false
+  in
+  match edges_of g with
+  | [ e ] -> check cb "indirect unresolved" true (e.Edge.kind = Edge.Mem_unresolved)
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 edge, got %d" (List.length es))
+
+let test_store_store_output () =
+  let g = two_op_ddg (access "a") true (access "a") true in
+  match edges_of g with
+  | [ e ] -> check cb "output dependence" true (e.Edge.kind = Edge.Mem_out)
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 edge, got %d" (List.length es))
+
+let test_scalars () =
+  let g =
+    two_op_ddg (access ~stride:0 "a") true (access ~stride:0 "a") false
+  in
+  (match edges_of g with
+  | [ e ] ->
+      check ci "scalar conflict distance 0" 0 e.Edge.distance;
+      check cb "flow" true (e.Edge.kind = Edge.Mem_flow)
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 edge, got %d" (List.length es)));
+  let g2 =
+    two_op_ddg (access ~stride:0 ~offset:0 "a") true
+      (access ~stride:0 ~offset:8 "a") false
+  in
+  check ci "disjoint scalars" 0 (List.length (edges_of g2))
+
+let test_existing_edges_respected () =
+  let b = Builder.create () in
+  let s = Builder.add b ~srcs:[ 0 ] ~mem:(access "a") Opcode.Store in
+  let l = Builder.add b ~dests:[ 1 ] ~mem:(access "a") Opcode.Load in
+  Builder.dep b ~kind:Edge.Mem_flow s l;
+  let g = Builder.build b in
+  check ci "already-connected pair skipped" 0
+    (List.length (Disambiguation.dependences g))
+
+let test_augment_makes_chains () =
+  let g = two_op_ddg (access "a") true (access "a") false in
+  let g' = Disambiguation.augment g in
+  let chains = Vliw_core.Chains.build g' in
+  check ci "augmented deps create one chain" 1
+    (Vliw_core.Chains.n_chains chains);
+  check ci "of both ops" 2 (Vliw_core.Chains.longest chains)
+
+let test_augmented_pipeline_end_to_end () =
+  (* A loop whose memory dependences come *only* from disambiguation:
+     the pipeline schedules it with the derived chain kept in one
+     cluster and the schedule validates. *)
+  let b = Builder.create () in
+  let acc footprint sym offset =
+    Mem_access.make ~storage:Mem_access.Heap ~symbol:sym ~offset ~stride:4
+      ~granularity:4 ~footprint ()
+  in
+  let l = Builder.add b ~dests:[ 0 ] ~mem:(acc 1024 "dd_buf" 0) Opcode.Load in
+  let c = Builder.add b ~dests:[ 1 ] ~srcs:[ 0 ] Opcode.Int_alu in
+  let st = Builder.add b ~srcs:[ 1 ] ~mem:(acc 1024 "dd_buf" 8) Opcode.Store in
+  Builder.flow b l c;
+  Builder.flow b c st;
+  let g = Disambiguation.augment (Builder.build b) in
+  check cb "a dependence was derived" true
+    (List.exists (fun (e : Edge.t) -> Edge.is_memory_kind e.Edge.kind)
+       (Ddg.edges g));
+  let loop = Loop.make ~name:"dd" ~trip_count:160 g in
+  let cfg = Vliw_arch.Config.default in
+  let profiler (lp : Loop.t) =
+    let profile = Vliw_core.Profile.empty ~n_ops:(Ddg.n_ops lp.Loop.ddg) in
+    List.iter
+      (fun i ->
+        profile.(i) <-
+          Some
+            (Vliw_core.Profile.make_op ~hit_rate:0.95
+               ~cluster_fractions:[| 1.0; 0.0; 0.0; 0.0 |] ~accesses:100))
+      (Ddg.memory_ops lp.Loop.ddg);
+    profile
+  in
+  let compiled =
+    Vliw_core.Pipeline.compile cfg
+      ~target:(Vliw_core.Pipeline.Interleaved { heuristic = `Ipbc; chains = true })
+      ~strategy:Vliw_core.Unroll_select.Selective ~profiler loop
+  in
+  (match
+     Vliw_sched.Schedule.validate cfg compiled.Vliw_core.Pipeline.loop.Loop.ddg
+       ~latency:(fun i -> compiled.Vliw_core.Pipeline.latencies.(i))
+       compiled.Vliw_core.Pipeline.schedule
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Memory ops of the derived chain share a cluster. *)
+  let sched = compiled.Vliw_core.Pipeline.schedule in
+  let ddg = compiled.Vliw_core.Pipeline.loop.Loop.ddg in
+  let mem_clusters =
+    List.map (fun v -> sched.Vliw_sched.Schedule.cluster.(v)) (Ddg.memory_ops ddg)
+  in
+  check ci "one cluster for the derived chain" 1
+    (List.length (List.sort_uniq compare mem_clusters))
+
+let suite =
+  [
+    ("different symbols are independent", `Quick, test_different_symbols_independent);
+    ("load pairs never depend", `Quick, test_loads_never_depend);
+    ("same address, same iteration", `Quick, test_same_address_same_iteration);
+    ("loop-carried anti dependence", `Quick, test_loop_carried_distance);
+    ("loop-carried flow dependence", `Quick, test_forward_flow_distance);
+    ("disjoint phases are independent", `Quick, test_phase_mismatch_independent);
+    ("overlapping phases unresolved", `Quick, test_phase_overlap_unresolved);
+    ("indirect accesses unresolved", `Quick, test_indirect_unresolved);
+    ("store-store output dependence", `Quick, test_store_store_output);
+    ("scalar conflicts", `Quick, test_scalars);
+    ("explicit edges respected", `Quick, test_existing_edges_respected);
+    ("augment feeds the chain builder", `Quick, test_augment_makes_chains);
+    ("augmented pipeline end to end", `Quick, test_augmented_pipeline_end_to_end);
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "vliw-repro"
+    [
+      ("ir", Test_ir.suite);
+      ("arch", Test_arch.suite);
+      ("sched", Test_sched.suite);
+      ("core", Test_core.suite);
+      ("sim", Test_sim.suite);
+      ("workloads", Test_workloads.suite);
+      ("report", Test_report.suite);
+      ("regpressure", Test_regpressure.suite);
+      ("disambiguation", Test_disambiguation.suite);
+      ("experiments", Test_experiments.suite);
+      ("figures", Test_figures.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,357 @@
+(* Property-based tests (qcheck): schedule validity over random loops,
+   unrolling invariants, MII monotonicity, LRU equivalence with a
+   reference model, and statistical estimators. *)
+
+open Vliw_ir
+module Config = Vliw_arch.Config
+module Engine = Vliw_sched.Engine
+module Ordering = Vliw_sched.Ordering
+module Resources = Vliw_sched.Resources
+module Schedule = Vliw_sched.Schedule
+module Set_assoc = Vliw_arch.Set_assoc
+module Latency_assign = Vliw_core.Latency_assign
+module Profile = Vliw_core.Profile
+
+let cfg = Config.default
+
+(* ------------------------------------------- random DDG generation *)
+
+(* A loop description drawn from a seed: random opcodes, forward edges
+   with distance 0, backward/self edges with distance >= 1 (so no
+   zero-distance cycles can appear). *)
+let build_random_ddg rng =
+  let n = 2 + QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_bound 14) in
+  let gen_int bound = QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_bound bound) in
+  let b = Builder.create () in
+  for i = 0 to n - 1 do
+    let id =
+      match gen_int 4 with
+      | 0 ->
+          Builder.add b
+            ~dests:[ Builder.fresh_reg b ]
+            ~mem:
+              (Mem_access.make
+                 ~symbol:(Printf.sprintf "s%d" (gen_int 3))
+                 ~stride:(4 * (1 + gen_int 3))
+                 ~granularity:4 ())
+            Opcode.Load
+      | 1 ->
+          Builder.add b ~srcs:[ 0 ]
+            ~mem:
+              (Mem_access.make
+                 ~symbol:(Printf.sprintf "s%d" (gen_int 3))
+                 ~stride:4 ~granularity:4 ())
+            Opcode.Store
+      | 2 -> Builder.add b ~dests:[ Builder.fresh_reg b ] Opcode.Fp_alu
+      | 3 -> Builder.add b ~dests:[ Builder.fresh_reg b ] Opcode.Int_mul
+      | _ -> Builder.add b ~dests:[ Builder.fresh_reg b ] Opcode.Int_alu
+    in
+    ignore id;
+    if i > 0 then begin
+      (* a forward edge from a random earlier node *)
+      let src = gen_int (i - 1) in
+      let kind =
+        match gen_int 3 with
+        | 0 -> Edge.Reg_flow
+        | 1 -> Edge.Reg_anti
+        | _ -> Edge.Reg_flow
+      in
+      Builder.dep b ~kind src i
+    end;
+    (* occasionally a loop-carried back edge *)
+    if i > 1 && gen_int 3 = 0 then
+      Builder.dep b ~kind:Edge.Reg_flow ~distance:(1 + gen_int 1) i (gen_int i)
+  done;
+  Builder.build b
+
+let make_test ~name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name
+       QCheck.(make Gen.(int_bound 1_000_000))
+       prop)
+
+let random_ddg_prop ~name f =
+  make_test ~name (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      f (build_random_ddg rng))
+
+(* ---------------------------------------------------------- properties *)
+
+let prop_schedule_validates =
+  random_ddg_prop ~name:"every random loop schedules and validates" (fun g ->
+      let latency i = Ddg.default_latency g i in
+      match Engine.schedule cfg g ~latency () with
+      | None -> false
+      | Some s -> (
+          match Schedule.validate cfg g ~latency s with
+          | Ok () -> true
+          | Error _ -> false))
+
+let prop_schedule_ii_at_least_mii =
+  random_ddg_prop ~name:"achieved II is never below MII" (fun g ->
+      let latency i = Ddg.default_latency g i in
+      match Engine.schedule cfg g ~latency () with
+      | None -> false
+      | Some s -> s.Schedule.ii >= Resources.mii cfg g ~latency)
+
+let prop_ordering_permutation =
+  random_ddg_prop ~name:"SMS ordering is a permutation" (fun g ->
+      let latency i = Ddg.default_latency g i in
+      let ii = Resources.mii cfg g ~latency in
+      let order = Ordering.order g ~latency ~ii in
+      List.sort compare order = List.init (Ddg.n_ops g) (fun i -> i))
+
+let prop_unroll_counts =
+  random_ddg_prop ~name:"unrolling scales ops and edges by the factor"
+    (fun g ->
+      List.for_all
+        (fun factor ->
+          let u = Unroll.ddg g ~factor in
+          Ddg.n_ops u = factor * Ddg.n_ops g
+          && List.length (Ddg.edges u) = factor * List.length (Ddg.edges g))
+        [ 2; 3; 4 ])
+
+let prop_unroll_distance_sum =
+  random_ddg_prop ~name:"unrolling preserves total dependence distance"
+    (fun g ->
+      let sum edges =
+        List.fold_left (fun acc (e : Edge.t) -> acc + e.Edge.distance) 0 edges
+      in
+      List.for_all
+        (fun factor -> sum (Ddg.edges (Unroll.ddg g ~factor)) = sum (Ddg.edges g))
+        [ 2; 4; 8 ])
+
+let prop_unroll_preserves_mii_scaled =
+  random_ddg_prop ~name:"RecMII of the unrolled loop is at most factor x RecMII"
+    (fun g ->
+      let latency i = Ddg.default_latency g i in
+      let base = Mii.rec_mii g ~latency in
+      let factor = 4 in
+      let u = Unroll.ddg g ~factor in
+      let latency_u i = Ddg.default_latency u i in
+      Mii.rec_mii u ~latency:latency_u <= factor * base)
+
+let prop_mii_monotone =
+  random_ddg_prop ~name:"RecMII is monotone in latencies" (fun g ->
+      let latency i = Ddg.default_latency g i in
+      let heavier i = latency i + 3 in
+      Mii.rec_mii g ~latency <= Mii.rec_mii g ~latency:heavier)
+
+(* LRU set-associative array vs. a naive reference model. *)
+let prop_set_assoc_matches_reference =
+  make_test ~name:"set-assoc array matches a reference LRU model"
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let gen_int bound = QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_bound bound) in
+      let sets = 2 and ways = 2 in
+      let t = Set_assoc.create ~sets ~ways in
+      (* reference: per set, most-recent-first list of keys *)
+      let reference = Array.make sets [] in
+      let ref_lookup key =
+        let s = key mod sets in
+        if List.mem key reference.(s) then begin
+          reference.(s) <- key :: List.filter (( <> ) key) reference.(s);
+          true
+        end
+        else false
+      in
+      let ref_insert key =
+        let s = key mod sets in
+        if not (ref_lookup key) then
+          reference.(s) <-
+            key
+            :: (if List.length reference.(s) >= ways then
+                  List.filteri (fun i _ -> i < ways - 1) reference.(s)
+                else reference.(s))
+      in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let key = gen_int 11 in
+        match gen_int 2 with
+        | 0 -> if Set_assoc.lookup t key <> ref_lookup key then ok := false
+        | 1 ->
+            ignore (Set_assoc.insert t key);
+            ref_insert key
+        | _ ->
+            if Set_assoc.contains t key <> List.mem key (reference.(key mod sets))
+            then ok := false
+      done;
+      !ok)
+
+let prop_expected_stall_monotone =
+  make_test ~name:"expected stall decreases as the assigned latency grows"
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let gen_f () =
+        QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.float_bound_inclusive 1.0)
+      in
+      let hit = gen_f () and l0 = gen_f () in
+      let p =
+        Profile.make_op ~hit_rate:hit
+          ~cluster_fractions:[| l0; 1.0 -. l0; 0.0; 0.0 |]
+          ~accesses:100
+      in
+      let stall lat =
+        Latency_assign.expected_stall cfg ~mode:Latency_assign.Four_level p
+          ~lat
+      in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> stall a >= stall b -. 1e-9 && non_increasing rest
+        | _ -> true
+      in
+      non_increasing [ 1; 3; 5; 8; 10; 12; 15; 20 ])
+
+let prop_assignment_within_ladder =
+  random_ddg_prop ~name:"assigned latencies stay within the ladder + slack"
+    (fun g ->
+      let profile = Profile.empty ~n_ops:(Ddg.n_ops g) in
+      List.iter
+        (fun i ->
+          profile.(i) <-
+            Some
+              (Profile.make_op ~hit_rate:0.8
+                 ~cluster_fractions:[| 0.7; 0.1; 0.1; 0.1 |] ~accesses:100))
+        (Ddg.memory_ops g);
+      let lat =
+        Latency_assign.assign cfg g ~mode:Latency_assign.Four_level ~profile
+      in
+      List.for_all
+        (fun i ->
+          (not (Operation.is_load (Ddg.op g i))) || lat.(i) >= 1)
+        (List.init (Ddg.n_ops g) Fun.id))
+
+let prop_stacked_bar_width =
+  make_test ~name:"stacked bars always have the requested width"
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let gen_f () =
+        QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.float_bound_inclusive 1.0)
+      in
+      let segments = List.init 5 (fun _ -> gen_f ()) in
+      String.length (Vliw_report.Table.stacked_bar ~width:30 segments) = 30)
+
+let prop_prng_bound =
+  make_test ~name:"prng stays within its bound" (fun seed ->
+      let t = Vliw_workloads.Prng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Vliw_workloads.Prng.next_int t ~bound:13 in
+        if v < 0 || v >= 13 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    prop_schedule_validates;
+    prop_schedule_ii_at_least_mii;
+    prop_ordering_permutation;
+    prop_unroll_counts;
+    prop_unroll_distance_sum;
+    prop_unroll_preserves_mii_scaled;
+    prop_mii_monotone;
+    prop_set_assoc_matches_reference;
+    prop_expected_stall_monotone;
+    prop_assignment_within_ladder;
+    prop_stacked_bar_width;
+    prop_prng_bound;
+  ]
+
+(* ------------------------------------------------- cache-layer properties *)
+
+(* MSI invariant: no block is ever Modified in one cluster while resident
+   anywhere else. *)
+let prop_msi_single_writer =
+  make_test ~name:"MSI: a Modified block has no other holders" (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let gen_int bound =
+        QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_bound bound)
+      in
+      let c = Vliw_arch.Coherent_cache.create cfg in
+      let ok = ref true in
+      for step = 0 to 300 do
+        let cluster = gen_int 3 in
+        let block = gen_int 9 in
+        let store = gen_int 1 = 1 in
+        ignore
+          (Vliw_arch.Coherent_cache.access c ~now:(step * 20) ~cluster
+             ~addr:(block * cfg.Vliw_arch.Config.block_size)
+             ~store);
+        for b = 0 to 9 do
+          let holders =
+            List.filter
+              (fun cl ->
+                Vliw_arch.Coherent_cache.state c ~cluster:cl ~block:b
+                <> `Invalid)
+              [ 0; 1; 2; 3 ]
+          in
+          let modified =
+            List.filter
+              (fun cl ->
+                Vliw_arch.Coherent_cache.state c ~cluster:cl ~block:b
+                = `Modified)
+              holders
+          in
+          if modified <> [] && List.length holders > 1 then ok := false
+        done
+      done;
+      !ok)
+
+(* The interleaved cache never claims a *local* hit for a remote word
+   unless an attraction buffer supplied it. *)
+let prop_interleaved_locality_honest =
+  make_test ~name:"interleaved: local hits are local (no AB)" (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let gen_int bound =
+        QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_bound bound)
+      in
+      let c = Vliw_arch.Interleaved_cache.create cfg in
+      let ok = ref true in
+      for step = 0 to 300 do
+        let cluster = gen_int 3 in
+        let addr = 4 * gen_int 200 in
+        let r =
+          Vliw_arch.Interleaved_cache.access c ~now:(step * 30) ~cluster ~addr
+            ~store:(gen_int 1 = 1) ()
+        in
+        let local = Vliw_arch.Config.cluster_of_addr cfg addr = cluster in
+        (match r.Vliw_arch.Access.kind with
+        | Vliw_arch.Access.Local_hit | Vliw_arch.Access.Local_miss ->
+            if not local then ok := false
+        | Vliw_arch.Access.Remote_hit | Vliw_arch.Access.Remote_miss ->
+            if local then ok := false
+        | Vliw_arch.Access.Combined -> ());
+        if r.Vliw_arch.Access.ready_at < (step * 30) + 1 then ok := false
+      done;
+      !ok)
+
+(* End-to-end determinism: compiling and simulating the same benchmark
+   twice yields identical statistics. *)
+let prop_simulation_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:4 ~name:"simulation is deterministic"
+       QCheck.(make Gen.(int_bound 2))
+       (fun i ->
+         let bench = List.nth Vliw_workloads.Mediabench.all i in
+         let once () =
+           let ctx = Vliw_experiments.Context.create () in
+           let s =
+             Vliw_experiments.Context.run ctx bench
+               (Vliw_experiments.Context.interleaved `Ipbc)
+               ~arch:
+                 (Vliw_sim.Machine.Word_interleaved
+                    { attraction_buffers = true })
+               ()
+           in
+           ( Vliw_sim.Stats.total_cycles s,
+             Vliw_sim.Stats.total_accesses s,
+             Vliw_sim.Stats.local_hit_ratio s )
+         in
+         once () = once ()))
+
+let suite =
+  suite
+  @ [
+      prop_msi_single_writer;
+      prop_interleaved_locality_honest;
+      prop_simulation_deterministic;
+    ]

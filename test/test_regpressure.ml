@@ -1,0 +1,98 @@
+(* Unit tests for the MaxLive register-pressure estimator. *)
+
+open Vliw_ir
+module Config = Vliw_arch.Config
+module Engine = Vliw_sched.Engine
+module Regpressure = Vliw_sched.Regpressure
+module Schedule = Vliw_sched.Schedule
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cfg = Config.default
+
+(* producer -> consumer; the consumer defines no value, so the producer's
+   is the only lifetime. *)
+let chain_ddg () =
+  let b = Builder.create () in
+  let p = Builder.add b ~dests:[ 0 ] Opcode.Int_alu in
+  let c = Builder.add b ~srcs:[ 0 ] Opcode.Int_alu in
+  Builder.flow b p c;
+  Builder.build b
+
+let hand_schedule ~ii ~cluster0 ~cluster1 ~t0 ~t1 =
+  {
+    Schedule.ii;
+    n_clusters = 4;
+    cluster = [| cluster0; cluster1 |];
+    start = [| t0; t1 |];
+    copies = [];
+  }
+
+let test_short_lifetime () =
+  let g = chain_ddg () in
+  let s = hand_schedule ~ii:4 ~cluster0:0 ~cluster1:0 ~t0:0 ~t1:1 in
+  let live = Regpressure.max_live g ~latency:(Ddg.default_latency g) s in
+  check ci "one value live in cluster 0" 1 live.(0);
+  check ci "nothing in cluster 1" 0 live.(1)
+
+let test_long_lifetime_overlaps () =
+  (* A lifetime spanning 2.5 IIs has 3 overlapping instances. *)
+  let g = chain_ddg () in
+  let s = hand_schedule ~ii:4 ~cluster0:0 ~cluster1:0 ~t0:0 ~t1:10 in
+  let live = Regpressure.max_live g ~latency:(Ddg.default_latency g) s in
+  check cb "pipelined lifetimes overlap" true (live.(0) >= 3)
+
+let test_latency_extends_lifetime () =
+  let g = chain_ddg () in
+  let s = hand_schedule ~ii:2 ~cluster0:0 ~cluster1:0 ~t0:0 ~t1:1 in
+  let short = Regpressure.total_max_live g ~latency:(fun _ -> 1) s in
+  (* Same schedule, but pretend the producer takes 9 cycles: its value
+     occupies more overlapped iterations. *)
+  let long = Regpressure.total_max_live g ~latency:(fun v -> if v = 0 then 9 else 1) s in
+  check cb "longer latency raises pressure" true (long > short)
+
+let test_copy_opens_remote_lifetime () =
+  let g = chain_ddg () in
+  let s =
+    {
+      Schedule.ii = 4;
+      n_clusters = 4;
+      cluster = [| 0; 2 |];
+      start = [| 0; 5 |];
+      copies =
+        [ { Schedule.src_op = 0; from_cluster = 0; to_cluster = 2; start = 1 } ];
+    }
+  in
+  let live = Regpressure.max_live g ~latency:(Ddg.default_latency g) s in
+  check cb "value lives in producer cluster" true (live.(0) >= 1);
+  check cb "copy target holds a value too" true (live.(2) >= 1)
+
+let test_whole_suite_pressure_reasonable () =
+  (* Every compiled benchmark loop fits a generous register file. *)
+  let ctx = Vliw_experiments.Context.create () in
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun (c : Vliw_core.Pipeline.compiled) ->
+          let total =
+            Regpressure.total_max_live c.Vliw_core.Pipeline.loop.Loop.ddg
+              ~latency:(fun i -> c.Vliw_core.Pipeline.latencies.(i))
+              c.Vliw_core.Pipeline.schedule
+          in
+          check cb
+            (bench.Vliw_workloads.Benchspec.name ^ " pressure sane")
+            true
+            (total > 0 && total < 1024))
+        (Vliw_experiments.Context.compiled ctx bench
+           (Vliw_experiments.Context.interleaved `Ipbc)))
+    Vliw_workloads.Mediabench.all
+
+let suite =
+  [
+    ("maxlive: short lifetime", `Quick, test_short_lifetime);
+    ("maxlive: pipelined overlap", `Quick, test_long_lifetime_overlaps);
+    ("maxlive: latency raises pressure", `Quick, test_latency_extends_lifetime);
+    ("maxlive: copies open remote lifetimes", `Quick, test_copy_opens_remote_lifetime);
+    ("maxlive: suite-wide sanity", `Slow, test_whole_suite_pressure_reasonable);
+  ]

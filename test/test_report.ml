@@ -1,0 +1,47 @@
+(* Unit tests for the report tables. *)
+
+module Table = Vliw_report.Table
+
+let check = Alcotest.check
+
+let test_make_validation () =
+  Alcotest.check_raises "ragged row rejected"
+    (Invalid_argument "Table.make: row \"b\" has 1 values, expected 2")
+    (fun () ->
+      ignore
+        (Table.make ~title:"t" ~columns:[ "x"; "y" ]
+           [ ("a", [ 1.0; 2.0 ]); ("b", [ 1.0 ]) ]))
+
+let test_render () =
+  let t =
+    Table.make ~title:"demo" ~note:"n" ~columns:[ "col" ]
+      [ ("row", [ 0.5 ]) ]
+  in
+  let s = Format.asprintf "%a" (Table.render ~precision:2) t in
+  check Alcotest.bool "title present" true
+    (String.length s > 0 && String.sub s 0 4 = "demo");
+  let csv = Format.asprintf "%a" Table.render_csv t in
+  check Alcotest.bool "csv has header" true
+    (String.sub csv 0 9 = "benchmark")
+
+let test_bar () =
+  check Alcotest.int "full bar" 10 (String.length (Table.bar ~width:10 1.0));
+  check Alcotest.string "empty bar" (String.make 10 ' ')
+    (Table.bar ~width:10 0.0);
+  check Alcotest.string "clamped" (String.make 10 '#')
+    (Table.bar ~width:10 2.0)
+
+let test_stacked_bar () =
+  let s = Table.stacked_bar ~width:10 [ 0.5; 0.5 ] in
+  check Alcotest.int "width respected" 10 (String.length s);
+  check Alcotest.string "half and half" "#####=====" s;
+  check Alcotest.string "zero total blank" (String.make 4 ' ')
+    (Table.stacked_bar ~width:4 [ 0.0; 0.0 ])
+
+let suite =
+  [
+    ("table: ragged rows rejected", `Quick, test_make_validation);
+    ("table: renders title and csv", `Quick, test_render);
+    ("table: bar", `Quick, test_bar);
+    ("table: stacked bar", `Quick, test_stacked_bar);
+  ]

@@ -1,0 +1,240 @@
+(* Unit tests for the simulator: statistics bookkeeping, the machine
+   dispatch and the lockstep executor's stall model. *)
+
+open Vliw_ir
+module Access = Vliw_arch.Access
+module Config = Vliw_arch.Config
+module Pipeline = Vliw_core.Pipeline
+module Profile = Vliw_core.Profile
+module Executor = Vliw_sim.Executor
+module Machine = Vliw_sim.Machine
+module Stats = Vliw_sim.Stats
+module Chains = Vliw_core.Chains
+module Schedule = Vliw_sched.Schedule
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cfg = Config.default
+
+(* -------------------------------------------------------------- stats *)
+
+let test_stats_counts () =
+  let s = Stats.create () in
+  Stats.count_access s Access.Local_hit;
+  Stats.count_access s Access.Local_hit;
+  Stats.count_access s Access.Remote_hit;
+  Stats.count_stall s Access.Remote_hit ~cycles:4;
+  Stats.add_compute s 100;
+  check ci "local hits" 2 (Stats.accesses s Access.Local_hit);
+  check ci "total" 3 (Stats.total_accesses s);
+  check ci "stall" 4 (Stats.stall_cycles s);
+  check ci "total cycles" 104 (Stats.total_cycles s);
+  check (Alcotest.float 1e-9) "ratio" (2.0 /. 3.0) (Stats.local_hit_ratio s)
+
+let test_stats_accumulate_scale () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.count_access a Access.Local_hit;
+  Stats.add_compute a 10;
+  Stats.count_access b Access.Remote_miss;
+  Stats.count_stall b Access.Remote_miss ~cycles:7;
+  Stats.accumulate ~into:a b;
+  check ci "merged accesses" 2 (Stats.total_accesses a);
+  check ci "merged stall" 7 (Stats.stall_cycles a);
+  let half = Stats.scale a 0.5 in
+  check ci "scaled compute" 5 (Stats.compute_cycles half);
+  check ci "original intact" 10 (Stats.compute_cycles a)
+
+let test_stats_factors () =
+  let s = Stats.create () in
+  Stats.count_stall_factor s Stats.Granularity;
+  Stats.count_stall_factor s Stats.Granularity;
+  Stats.count_stall_factor s Stats.Not_in_preferred;
+  check ci "granularity" 2 (Stats.factor_count s Stats.Granularity);
+  check ci "not preferred" 1 (Stats.factor_count s Stats.Not_in_preferred);
+  check ci "unclear untouched" 0 (Stats.factor_count s Stats.Unclear_preferred)
+
+(* ------------------------------------------------------------ machine *)
+
+let test_machine_dispatch () =
+  List.iter
+    (fun arch ->
+      let m = Machine.create cfg arch in
+      let r = Machine.access m ~now:0 ~cluster:0 ~addr:0 ~store:false () in
+      check cb
+        (Machine.arch_to_string arch ^ " first access misses")
+        true
+        (r.Access.kind = Access.Local_miss || r.Access.kind = Access.Remote_miss);
+      Machine.end_of_loop m)
+    [
+      Machine.Word_interleaved { attraction_buffers = true };
+      Machine.Word_interleaved { attraction_buffers = false };
+      Machine.Unified { slow = false };
+      Machine.Multivliw;
+    ]
+
+(* ----------------------------------------------------------- executor *)
+
+(* Hand-built "compiled" loop: one load in cluster 0 with a controllable
+   assigned latency, accessing a fixed address each iteration. *)
+let compiled_of ~assigned_latency ~cluster ~granularity ~trip =
+  let b = Builder.create () in
+  let l =
+    Builder.add b ~dests:[ 0 ]
+      ~mem:(Mem_access.make ~symbol:"x" ~stride:0 ~granularity ())
+      Opcode.Load
+  in
+  ignore l;
+  let g = Builder.build b in
+  let loop = Loop.make ~name:"unit" ~trip_count:trip g in
+  let profile = Profile.empty ~n_ops:1 in
+  profile.(0) <-
+    Some
+      (Profile.make_op ~hit_rate:1.0
+         ~cluster_fractions:[| 1.0; 0.0; 0.0; 0.0 |] ~accesses:trip);
+  {
+    Pipeline.source = loop;
+    target = Pipeline.Interleaved { heuristic = `Ipbc; chains = true };
+    unroll_factor = 1;
+    loop;
+    profile;
+    latencies = [| assigned_latency |];
+    chains = Chains.build g;
+    schedule =
+      { Schedule.ii = 4; n_clusters = 4; cluster = [| cluster |];
+        start = [| 0 |]; copies = [] };
+    estimated_cycles = trip * 4;
+  }
+
+let run ?attractable ~assigned_latency ~cluster ?(granularity = 4) ?(trip = 10)
+    ?(arch = Machine.Word_interleaved { attraction_buffers = false })
+    ?(addr = 0) () =
+  let c = compiled_of ~assigned_latency ~cluster ~granularity ~trip in
+  let machine = Machine.create cfg arch in
+  Executor.run_loop cfg machine c ~addr_of:(fun ~op:_ ~iter:_ -> addr)
+    ?attractable ()
+
+let test_executor_no_stall_when_covered () =
+  (* Assigned latency 15 covers even the cold remote miss. *)
+  let s = run ~assigned_latency:15 ~cluster:1 () in
+  check ci "no stall" 0 (Stats.stall_cycles s);
+  check ci "compute = (trip + SC - 1) * II" 40 (Stats.compute_cycles s)
+
+let test_executor_stall_equals_uncovered_latency () =
+  (* Local accesses with assigned latency 1: only the cold miss stalls,
+     by (miss latency - 1). *)
+  let s = run ~assigned_latency:1 ~cluster:0 () in
+  check ci "one cold stall" (cfg.Config.lat_local_miss - 1)
+    (Stats.stall_cycles s);
+  check ci "stall attributed to the miss" (cfg.Config.lat_local_miss - 1)
+    (Stats.stall_of s Access.Local_miss)
+
+let test_executor_remote_hit_stall () =
+  (* Cluster 1 reads cluster-0 data every iteration at assigned lat 1:
+     cold remote miss once, then remote hits stalling 4 each. *)
+  let trip = 10 in
+  let s = run ~assigned_latency:1 ~cluster:1 ~trip () in
+  check ci "remote-hit stall"
+    ((trip - 1) * (cfg.Config.lat_remote_hit - 1))
+    (Stats.stall_of s Access.Remote_hit);
+  check ci "plus the cold miss" (cfg.Config.lat_remote_miss - 1)
+    (Stats.stall_of s Access.Remote_miss)
+
+let test_executor_ab_removes_remote_stall () =
+  let trip = 10 in
+  let s =
+    run ~assigned_latency:1 ~cluster:1 ~trip
+      ~arch:(Machine.Word_interleaved { attraction_buffers = true })
+      ()
+  in
+  (* Cold miss stalls; the first remote hit attracts; later accesses are
+     AB-local. *)
+  check ci "a single remote-hit stall remains"
+    (cfg.Config.lat_remote_hit - 1)
+    (Stats.stall_of s Access.Remote_hit);
+  check cb "local hits appear" true (Stats.accesses s Access.Local_hit > 0)
+
+let test_executor_attractable_flags () =
+  let trip = 10 in
+  let s =
+    run ~assigned_latency:1 ~cluster:1 ~trip ~attractable:[| false |]
+      ~arch:(Machine.Word_interleaved { attraction_buffers = true })
+      ()
+  in
+  check ci "suppressed attraction keeps remote hits"
+    ((trip - 1) * (cfg.Config.lat_remote_hit - 1))
+    (Stats.stall_of s Access.Remote_hit)
+
+let test_executor_wide_access () =
+  (* 8-byte elements span two clusters: even from its first word's home
+     cluster the access classifies by the slower (remote) part. *)
+  let s = run ~assigned_latency:15 ~cluster:0 ~granularity:8 () in
+  check cb "wide accesses are never plain local hits" true
+    (Stats.accesses s Access.Local_hit = 0);
+  check cb "remote hits observed" true
+    (Stats.accesses s Access.Remote_hit > 0);
+  check ci "but fully covered by the latency: no stall" 0
+    (Stats.stall_cycles s)
+
+let test_executor_store_never_stalls () =
+  let b = Builder.create () in
+  let _ =
+    Builder.add b ~srcs:[ 0 ]
+      ~mem:(Mem_access.make ~symbol:"x" ~stride:0 ~granularity:4 ())
+      Opcode.Store
+  in
+  let g = Builder.build b in
+  let loop = Loop.make ~name:"st" ~trip_count:10 g in
+  let profile = Profile.empty ~n_ops:1 in
+  let c =
+    {
+      Pipeline.source = loop;
+      target = Pipeline.Interleaved { heuristic = `Ipbc; chains = true };
+      unroll_factor = 1;
+      loop;
+      profile;
+      latencies = [| 1 |];
+      chains = Chains.build g;
+      schedule =
+        { Schedule.ii = 4; n_clusters = 4; cluster = [| 1 |];
+          start = [| 0 |]; copies = [] };
+      estimated_cycles = 40;
+    }
+  in
+  let machine =
+    Machine.create cfg (Machine.Word_interleaved { attraction_buffers = false })
+  in
+  let s =
+    Executor.run_loop cfg machine c ~addr_of:(fun ~op:_ ~iter:_ -> 0) ()
+  in
+  check ci "stores never stall" 0 (Stats.stall_cycles s);
+  check cb "but are classified" true (Stats.total_accesses s > 0)
+
+let test_executor_factor_classification () =
+  (* Stalling remote hits of an op scheduled away from its preferred
+     cluster are tagged Not_in_preferred; stride 0 is a multiple of NxI,
+     granularity 4 is not wide, distribution 1.0 is clear. *)
+  let s = run ~assigned_latency:1 ~cluster:1 ~trip:10 () in
+  check cb "not-in-preferred flagged" true
+    (Stats.factor_count s Stats.Not_in_preferred > 0);
+  check ci "granularity not flagged" 0 (Stats.factor_count s Stats.Granularity);
+  check ci "multi-cluster not flagged" 0
+    (Stats.factor_count s Stats.More_than_one_cluster);
+  check ci "unclear not flagged" 0
+    (Stats.factor_count s Stats.Unclear_preferred)
+
+let suite =
+  [
+    ("stats: counters", `Quick, test_stats_counts);
+    ("stats: accumulate and scale", `Quick, test_stats_accumulate_scale);
+    ("stats: stall factors", `Quick, test_stats_factors);
+    ("machine: dispatch over architectures", `Quick, test_machine_dispatch);
+    ("executor: covered latency never stalls", `Quick, test_executor_no_stall_when_covered);
+    ("executor: stall equals uncovered latency", `Quick, test_executor_stall_equals_uncovered_latency);
+    ("executor: remote hits stall", `Quick, test_executor_remote_hit_stall);
+    ("executor: attraction buffers remove stall", `Quick, test_executor_ab_removes_remote_stall);
+    ("executor: attractable hints respected", `Quick, test_executor_attractable_flags);
+    ("executor: wide accesses partly remote", `Quick, test_executor_wide_access);
+    ("executor: stores never stall", `Quick, test_executor_store_never_stalls);
+    ("executor: figure-5 factor flags", `Quick, test_executor_factor_classification);
+  ]
