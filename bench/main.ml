@@ -2,10 +2,17 @@
    paper's evaluation section (see DESIGN.md's experiment index) and
    times the compiler itself with bechamel.
 
-     dune exec bench/main.exe            -- run everything
-     dune exec bench/main.exe fig4 fig8  -- run a subset *)
+     dune exec bench/main.exe                      -- run everything
+     dune exec bench/main.exe fig4 fig8            -- run a subset
+     dune exec bench/main.exe -- --jobs 4 fig4     -- 4 worker domains
+
+   --jobs N (default: all cores) sizes the domain pool the experiment
+   drivers fan their per-benchmark cells out on; --jobs 1 reproduces the
+   strictly sequential run.  Either way the rendered output is
+   byte-identical (see DESIGN.md, "Performance & parallel runner"). *)
 
 module E = Vliw_experiments
+module Pool = Vliw_parallel.Pool
 
 let ppf = Format.std_formatter
 
@@ -15,6 +22,80 @@ let banner name =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler pipeline (engineering
    bench; not a paper artefact). *)
+
+(* ------------------------------------------------ BENCH_compile.json *)
+
+(* Machine-readable perf trajectory: bechamel's ns/run per compile-path
+   micro-benchmark plus the end-to-end wall-clock of fig4 at jobs=1 and
+   jobs=N.  Future PRs compare against this file to catch compile-path
+   regressions (> 5% on the bechamel side) and parallel-runner
+   regressions. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Render fig4 into a buffer on a fresh context (so compilation cost is
+   included both times) and return (wall-clock seconds, output). *)
+let timed_fig4 ~jobs =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      let bppf = Format.formatter_of_buffer buf in
+      let ctx = E.Context.create () in
+      let t0 = Unix.gettimeofday () in
+      E.Fig4.run bppf ctx;
+      Format.pp_print_flush bppf ();
+      (Unix.gettimeofday () -. t0, Buffer.contents buf))
+
+let write_bench_json ~estimates =
+  let n = max 2 (Pool.default_jobs ()) in
+  let seq_s, seq_out = timed_fig4 ~jobs:1 in
+  let par_s, par_out = timed_fig4 ~jobs:n in
+  let identical = String.equal seq_out par_out in
+  let path = "BENCH_compile.json" in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": 1,\n";
+  p "  \"bechamel_ns_per_run\": {\n";
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) estimates in
+  List.iteri
+    (fun i (name, ns) ->
+      p "    \"%s\": %.1f%s\n" (json_escape name) ns
+        (if i = List.length sorted - 1 then "" else ","))
+    sorted;
+  p "  },\n";
+  p "  \"fig4_wall_s\": {\n";
+  p "    \"jobs_1\": %.3f,\n" seq_s;
+  p "    \"jobs_n\": %.3f,\n" par_s;
+  p "    \"n\": %d,\n" n;
+  p "    \"identical\": %b\n" identical;
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  Format.fprintf ppf
+    "fig4 wall-clock: %.2fs sequential, %.2fs with %d jobs (outputs %s)@."
+    seq_s par_s n
+    (if identical then "identical" else "DIFFERENT");
+  Format.fprintf ppf "wrote %s@.@." path;
+  if not identical then begin
+    Format.fprintf ppf "ERROR: parallel fig4 output diverged from sequential@.";
+    exit 1
+  end
 
 let perf () =
   let open Bechamel in
@@ -77,14 +158,20 @@ let perf () =
     Analyze.all ols Toolkit.Instance.monotonic_clock raw
   in
   let results = benchmark () in
+  let estimates =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> (name, t) :: acc
+        | Some [] | None -> acc)
+      results []
+  in
   Format.fprintf ppf "bechamel (monotonic clock, ns/run):@.";
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some (t :: _) -> Format.fprintf ppf "  %-32s %12.0f ns@." name t
-      | Some [] | None -> Format.fprintf ppf "  %-32s (no estimate)@." name)
-    results;
-  Format.fprintf ppf "@."
+  List.iter
+    (fun (name, t) -> Format.fprintf ppf "  %-32s %12.0f ns@." name t)
+    (List.sort (fun (a, _) (b, _) -> compare a b) estimates);
+  Format.fprintf ppf "@.";
+  write_bench_json ~estimates
 
 (* ------------------------------------------------------------------ *)
 
@@ -108,14 +195,37 @@ let experiments ctx =
     ("perf", perf);
   ]
 
+let usage () =
+  Format.fprintf ppf
+    "usage: main.exe [--jobs N] [EXPERIMENT...]@.  --jobs N   worker \
+     domains (default: all cores; 1 = sequential)@.";
+  exit 2
+
+let set_jobs s =
+  match int_of_string_opt s with
+  | Some j when j >= 1 -> Pool.set_default_jobs j
+  | _ ->
+      Format.fprintf ppf "invalid --jobs value %S (expected integer >= 1)@." s;
+      exit 2
+
+(* Split --jobs/-j out of argv; everything else is an experiment name. *)
+let rec parse_args names = function
+  | [] -> List.rev names
+  | ("--jobs" | "-j") :: [] -> usage ()
+  | ("--jobs" | "-j") :: n :: rest ->
+      set_jobs n;
+      parse_args names rest
+  | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      set_jobs (String.sub arg 7 (String.length arg - 7));
+      parse_args names rest
+  | ("--help" | "-h") :: _ -> usage ()
+  | name :: rest -> parse_args (name :: names) rest
+
 let () =
+  let names = parse_args [] (List.tl (Array.to_list Sys.argv)) in
   let ctx = E.Context.create () in
   let all = experiments ctx in
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all
-  in
+  let requested = match names with [] -> List.map fst all | _ -> names in
   List.iter
     (fun name ->
       match List.assoc_opt name all with

@@ -8,6 +8,7 @@
 
 open Cmdliner
 module E = Vliw_experiments
+module Pool = Vliw_parallel.Pool
 module Pipeline = Vliw_core.Pipeline
 module Schedule = Vliw_sched.Schedule
 module Loop = Vliw_ir.Loop
@@ -41,6 +42,18 @@ let config_cmd =
 
 (* ---------------------------------------------------------- experiment *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the experiment engine (default: all cores). \
+           $(docv) = 1 runs strictly sequentially; the rendered output is \
+           byte-identical either way.")
+
+let apply_jobs jobs = if jobs >= 1 then Pool.set_default_jobs jobs
+
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures." in
   let names =
@@ -61,7 +74,8 @@ let experiment_cmd =
           []
       & info [] ~docv:"EXPERIMENT")
   in
-  let run names =
+  let run jobs names =
+    apply_jobs jobs;
     let ctx = E.Context.create () in
     List.iter
       (function
@@ -82,7 +96,7 @@ let experiment_cmd =
         | `Csv -> E.Csv_export.run ppf ctx)
       names
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ names)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ jobs_arg $ names)
 
 (* ------------------------------------------------------ shared options *)
 

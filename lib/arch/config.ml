@@ -88,6 +88,10 @@ let validate t =
     (t.ab_entries mod t.ab_associativity = 0)
     "ab_entries must be divisible by ab_associativity"
 
+(* The record is all immediate fields, so Marshal is a canonical byte
+   representation: two configs digest equal iff every field is equal. *)
+let fingerprint t = Digest.to_hex (Digest.string (Marshal.to_string t []))
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Number of clusters        %d@,\

@@ -51,5 +51,10 @@ val block_of_addr : t -> int -> int
 val validate : t -> (unit, string) result
 (** Check internal consistency (powers of two, divisibility). *)
 
+val fingerprint : t -> string
+(** A short hex digest covering every field — equal iff the two
+    configurations are equal.  Used to key compilation memos so entries
+    can never be reused across differing machine configs. *)
+
 val pp : Format.formatter -> t -> unit
 (** Render the configuration as the rows of Table 2. *)

@@ -1,3 +1,4 @@
+module Pool = Vliw_parallel.Pool
 module Stats = Vliw_sim.Stats
 module Table = Vliw_report.Table
 module WL = Vliw_workloads
@@ -20,10 +21,12 @@ let table ctx =
   Table.make
     ~title:"Breaking chains (epicdec, IPBC): with vs. without memory chains"
     ~columns:[ "compute"; "stall"; "local-hit"; "balance" ]
-    [
-      row "chains" (Context.interleaved `Ipbc);
-      row "no chains" (Context.interleaved ~chains:false `Ipbc);
-    ]
+    (Pool.map_ordered
+       (fun (label, spec) -> row label spec)
+       [
+         ("chains", Context.interleaved `Ipbc);
+         ("no chains", Context.interleaved ~chains:false `Ipbc);
+       ])
 
 let run ppf ctx =
   Table.render ppf (table ctx);

@@ -1,4 +1,5 @@
 module Config = Vliw_arch.Config
+module Pool = Vliw_parallel.Pool
 module Stats = Vliw_sim.Stats
 module Table = Vliw_report.Table
 module WL = Vliw_workloads
@@ -19,7 +20,7 @@ let table ~seed =
       cluster_counts
   in
   let rows =
-    List.map
+    Pool.map_ordered
       (fun bench ->
         ( bench.WL.Benchspec.name,
           List.map

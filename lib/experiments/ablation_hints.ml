@@ -1,5 +1,6 @@
 module Loop = Vliw_ir.Loop
 module Pipeline = Vliw_core.Pipeline
+module Pool = Vliw_parallel.Pool
 module Stats = Vliw_sim.Stats
 module Table = Vliw_report.Table
 module WL = Vliw_workloads
@@ -23,25 +24,28 @@ let loop_stall ctx spec ~ab_entries ~hints =
   (in_loop, total)
 
 let table ctx =
-  let rows =
+  let cells =
     List.concat_map
       (fun (hname, spec) ->
-        List.map
-          (fun entries ->
-            let l0, t0 = loop_stall ctx spec ~ab_entries:entries ~hints:false in
-            let l1, t1 = loop_stall ctx spec ~ab_entries:entries ~hints:true in
-            ( Printf.sprintf "%s AB-%d" hname entries,
-              [
-                float_of_int l0; float_of_int l1;
-                (if l0 = 0 then 0.0
-                 else 100.0 *. (1.0 -. (float_of_int l1 /. float_of_int l0)));
-                float_of_int t0; float_of_int t1;
-              ] ))
-          [ 8; 16 ])
+        List.map (fun entries -> (hname, spec, entries)) [ 8; 16 ])
       [
         ("IPBC", Context.interleaved `Ipbc);
         ("IBC", Context.interleaved `Ibc);
       ]
+  in
+  let rows =
+    Pool.map_ordered
+      (fun (hname, spec, entries) ->
+        let l0, t0 = loop_stall ctx spec ~ab_entries:entries ~hints:false in
+        let l1, t1 = loop_stall ctx spec ~ab_entries:entries ~hints:true in
+        ( Printf.sprintf "%s AB-%d" hname entries,
+          [
+            float_of_int l0; float_of_int l1;
+            (if l0 = 0 then 0.0
+             else 100.0 *. (1.0 -. (float_of_int l1 /. float_of_int l0)));
+            float_of_int t0; float_of_int t1;
+          ] ))
+      cells
   in
   Table.make
     ~title:

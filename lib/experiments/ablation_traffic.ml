@@ -1,4 +1,5 @@
 module Pipeline = Vliw_core.Pipeline
+module Pool = Vliw_parallel.Pool
 module Machine = Vliw_sim.Machine
 module Table = Vliw_report.Table
 module US = Vliw_core.Unroll_select
@@ -6,7 +7,7 @@ module WL = Vliw_workloads
 
 let interleaved_table ctx =
   let rows =
-    List.map
+    Pool.map_ordered
       (fun bench ->
         let _, tr =
           Context.run_traffic ctx bench (Context.interleaved `Ipbc)
@@ -40,7 +41,7 @@ let multivliw_table ctx =
     Context.run_traffic ctx bench spec ~arch:Machine.Multivliw ()
   in
   let rows =
-    List.map
+    Pool.map_ordered
       (fun bench ->
         let _, tr = run bench in
         ( bench.WL.Benchspec.name,

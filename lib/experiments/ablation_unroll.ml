@@ -1,6 +1,7 @@
 module Ddg = Vliw_ir.Ddg
 module Loop = Vliw_ir.Loop
 module Pipeline = Vliw_core.Pipeline
+module Pool = Vliw_parallel.Pool
 module Schedule = Vliw_sched.Schedule
 module Table = Vliw_report.Table
 module US = Vliw_core.Unroll_select
@@ -33,7 +34,7 @@ let totals ctx bench strategy =
 
 let table_of ctx ~title pick =
   let rows =
-    List.map
+    Pool.map_ordered
       (fun bench ->
         ( bench.WL.Benchspec.name,
           List.map

@@ -6,14 +6,29 @@ module Schedule = Vliw_sched.Schedule
 module WL = Vliw_workloads
 module Sim = Vliw_sim
 
+(* The compile memo is shared by every worker domain of the parallel
+   experiment engine, so it is mutex-guarded with per-key single-flight:
+   the first domain to ask for a key claims it (In_flight) and compiles
+   outside the lock; latecomers block on the condition until the result
+   lands.  No (bench, spec) pair is ever compiled twice. *)
+type entry = In_flight | Ready of Pipeline.compiled list
+
 type t = {
   cfg : Config.t;
   seed : int;
-  cache : (string, Pipeline.compiled list) Hashtbl.t;
+  cache : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  ready : Condition.t;
 }
 
 let create ?(cfg = Config.default) ?(seed = 7) () =
-  { cfg; seed; cache = Hashtbl.create 64 }
+  {
+    cfg;
+    seed;
+    cache = Hashtbl.create 64;
+    lock = Mutex.create ();
+    ready = Condition.create ();
+  }
 
 let cfg t = t.cfg
 
@@ -27,30 +42,61 @@ let interleaved ?(chains = true) ?(strategy = Unroll_select.Selective)
     ?(aligned = true) heuristic =
   { target = Pipeline.Interleaved { heuristic; chains }; strategy; aligned }
 
-let cache_key bench spec =
-  Printf.sprintf "%s|%s|%s|%b" bench.WL.Benchspec.name
+(* The config fingerprint (and seed) make the key self-contained: a memo
+   entry can never leak across differing machine configurations even if
+   contexts are ever pooled or serialized. *)
+let cache_key t bench spec =
+  Printf.sprintf "%s|%s|%s|%b|seed=%d|cfg=%s" bench.WL.Benchspec.name
     (Pipeline.target_to_string spec.target)
     (Unroll_select.strategy_to_string spec.strategy)
-    spec.aligned
+    spec.aligned t.seed
+    (Config.fingerprint t.cfg)
+
+let compile_uncached t bench spec =
+  let layout =
+    WL.Layout.create t.cfg ~aligned:spec.aligned ~run:WL.Layout.Profile_run
+      ~seed:t.seed
+  in
+  let profiler = WL.Profiling.profiler t.cfg layout in
+  List.map
+    (Pipeline.compile t.cfg ~target:spec.target ~strategy:spec.strategy
+       ~profiler)
+    (WL.Benchspec.loops bench)
 
 let compiled t bench spec =
-  let key = cache_key bench spec in
-  match Hashtbl.find_opt t.cache key with
-  | Some cs -> cs
-  | None ->
-      let layout =
-        WL.Layout.create t.cfg ~aligned:spec.aligned ~run:WL.Layout.Profile_run
-          ~seed:t.seed
-      in
-      let profiler = WL.Profiling.profiler t.cfg layout in
-      let cs =
-        List.map
-          (Pipeline.compile t.cfg ~target:spec.target ~strategy:spec.strategy
-             ~profiler)
-          (WL.Benchspec.loops bench)
-      in
-      Hashtbl.replace t.cache key cs;
-      cs
+  let key = cache_key t bench spec in
+  Mutex.lock t.lock;
+  let rec claim () =
+    match Hashtbl.find_opt t.cache key with
+    | Some (Ready cs) ->
+        Mutex.unlock t.lock;
+        `Hit cs
+    | Some In_flight ->
+        Condition.wait t.ready t.lock;
+        claim ()
+    | None ->
+        Hashtbl.replace t.cache key In_flight;
+        Mutex.unlock t.lock;
+        `Miss
+  in
+  match claim () with
+  | `Hit cs -> cs
+  | `Miss -> (
+      match compile_uncached t bench spec with
+      | cs ->
+          Mutex.lock t.lock;
+          Hashtbl.replace t.cache key (Ready cs);
+          Condition.broadcast t.ready;
+          Mutex.unlock t.lock;
+          cs
+      | exception e ->
+          (* Release the claim so waiters retry (and fail) themselves
+             instead of blocking forever. *)
+          Mutex.lock t.lock;
+          Hashtbl.remove t.cache key;
+          Condition.broadcast t.ready;
+          Mutex.unlock t.lock;
+          raise e)
 
 let run_loops_on t bench spec ~machine ~cfg ?(hints = false) () =
   let exec_layout =

@@ -3,7 +3,9 @@
 
     Every figure reuses compilations of the same (benchmark, target,
     unroll strategy, alignment) combination, so compiled loops are
-    memoized per context. *)
+    memoized per context.  The memo is thread-safe (mutex-guarded,
+    per-key single-flight), so one context can be shared by all worker
+    domains of the parallel experiment engine. *)
 
 type t
 
@@ -25,8 +27,16 @@ val interleaved :
 (** Convenience constructor; defaults: chains on, selective unrolling,
     alignment on. *)
 
+val cache_key : t -> Vliw_workloads.Benchspec.t -> spec -> string
+(** The memo key for a (benchmark, spec) pair.  Includes the context's
+    seed and a {!Vliw_arch.Config.fingerprint} of its configuration, so
+    entries can never be shared across differing machine configs. *)
+
 val compiled : t -> Vliw_workloads.Benchspec.t -> spec -> Vliw_core.Pipeline.compiled list
-(** Compile (or fetch from cache) every loop of the benchmark. *)
+(** Compile (or fetch from cache) every loop of the benchmark.
+    Thread-safe: the memo is mutex-guarded with per-key single-flight,
+    so concurrent callers of the same key block until the first
+    finishes rather than compiling twice. *)
 
 val run :
   t ->

@@ -1,4 +1,5 @@
 module Access = Vliw_arch.Access
+module Pool = Vliw_parallel.Pool
 module Stats = Vliw_sim.Stats
 module Table = Vliw_report.Table
 module US = Vliw_core.Unroll_select
@@ -27,7 +28,7 @@ let fractions stats =
   List.map (fun k -> float_of_int (Stats.accesses stats k) /. total) classes
 
 let stats_for ctx spec =
-  List.map
+  Pool.map_ordered
     (fun bench ->
       (bench.WL.Benchspec.name, Context.run ctx bench spec ~arch ()))
     WL.Mediabench.all
@@ -49,7 +50,7 @@ let tables ctx =
   in
   let summary =
     let rows =
-      List.map
+      Pool.map_ordered
         (fun bench ->
           ( bench.WL.Benchspec.name,
             List.map

@@ -1,3 +1,4 @@
+module Pool = Vliw_parallel.Pool
 module Stats = Vliw_sim.Stats
 module Table = Vliw_report.Table
 module WL = Vliw_workloads
@@ -17,7 +18,7 @@ let factor_fractions stats =
 
 let table_for ctx label spec =
   let rows =
-    List.filter_map
+    Pool.map_ordered
       (fun bench ->
         let s = Context.run ctx bench spec ~arch () in
         (* The paper drops benchmarks whose remote-hit stall is
@@ -25,6 +26,7 @@ let table_for ctx label spec =
         if Stats.stall_of s Vliw_arch.Access.Remote_hit = 0 then None
         else Some (bench.WL.Benchspec.name, factor_fractions s))
       WL.Mediabench.all
+    |> List.filter_map Fun.id
   in
   Table.make
     ~title:

@@ -1,4 +1,5 @@
 module Access = Vliw_arch.Access
+module Pool = Vliw_parallel.Pool
 module Stats = Vliw_sim.Stats
 module Table = Vliw_report.Table
 module WL = Vliw_workloads
@@ -18,11 +19,14 @@ let configs ctx bench =
 (* The paper omits g721dec/g721enc from this figure: their stall time is
    negligible. *)
 let plotted_benchmarks ctx =
-  List.filter
+  Pool.map_ordered
     (fun b ->
-      Stats.stall_cycles (Context.run ctx b (Context.interleaved `Ibc) ~arch:no_ab ())
-      > 0)
+      ( b,
+        Stats.stall_cycles
+          (Context.run ctx b (Context.interleaved `Ibc) ~arch:no_ab ())
+        > 0 ))
     WL.Mediabench.all
+  |> List.filter_map (fun (b, keep) -> if keep then Some b else None)
 
 let stall_kinds =
   [ Access.Remote_hit; Access.Local_miss; Access.Remote_miss; Access.Combined ]
@@ -31,7 +35,7 @@ let tables ctx =
   let benches = plotted_benchmarks ctx in
   let normalized =
     let rows =
-      List.map
+      Pool.map_ordered
         (fun bench ->
           let runs = configs ctx bench in
           let base =
@@ -51,7 +55,7 @@ let tables ctx =
   in
   let breakdown heuristic_label spec =
     let rows =
-      List.map
+      Pool.map_ordered
         (fun bench ->
           let s = Context.run ctx bench spec ~arch:no_ab () in
           let total = float_of_int (max 1 (Stats.stall_cycles s)) in
@@ -78,7 +82,11 @@ let tables ctx =
 let mean f xs =
   match xs with
   | [] -> 0.0
-  | _ -> List.fold_left (fun acc x -> acc +. f x) 0.0 xs /. float_of_int (List.length xs)
+  | _ ->
+      (* Evaluate the cells in parallel, then fold in input order so the
+         floating-point sum is identical to the sequential run. *)
+      let vs = Pool.map_ordered f xs in
+      List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs)
 
 let ab_reduction ctx =
   let benches = plotted_benchmarks ctx in

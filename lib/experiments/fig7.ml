@@ -1,3 +1,4 @@
+module Pool = Vliw_parallel.Pool
 module Table = Vliw_report.Table
 module US = Vliw_core.Unroll_select
 module WL = Vliw_workloads
@@ -12,7 +13,7 @@ let variants =
 
 let table ctx =
   let rows =
-    List.map
+    Pool.map_ordered
       (fun bench ->
         ( bench.WL.Benchspec.name,
           List.map

@@ -1,4 +1,5 @@
 module Pipeline = Vliw_core.Pipeline
+module Pool = Vliw_parallel.Pool
 module Stats = Vliw_sim.Stats
 module Machine = Vliw_sim.Machine
 module Table = Vliw_report.Table
@@ -29,36 +30,38 @@ let baseline =
 let stats_of ctx bench (spec, arch) = Context.run ctx bench spec ~arch ()
 
 let tables ctx =
-  let rows_total = ref [] and rows_stall = ref [] in
-  List.iter
-    (fun bench ->
-      let base =
-        float_of_int
-          (max 1 (Stats.total_cycles (stats_of ctx bench baseline)))
-      in
-      let totals, stalls =
-        List.split
-          (List.map
-             (fun (_, spec, arch) ->
-               let s = stats_of ctx bench (spec, arch) in
-               ( float_of_int (Stats.total_cycles s) /. base,
-                 float_of_int (Stats.stall_cycles s) /. base ))
-             configurations)
-      in
-      rows_total := (bench.WL.Benchspec.name, totals) :: !rows_total;
-      rows_stall := (bench.WL.Benchspec.name, stalls) :: !rows_stall)
-    WL.Mediabench.all;
+  let cells =
+    Pool.map_ordered
+      (fun bench ->
+        let base =
+          float_of_int
+            (max 1 (Stats.total_cycles (stats_of ctx bench baseline)))
+        in
+        let totals, stalls =
+          List.split
+            (List.map
+               (fun (_, spec, arch) ->
+                 let s = stats_of ctx bench (spec, arch) in
+                 ( float_of_int (Stats.total_cycles s) /. base,
+                   float_of_int (Stats.stall_cycles s) /. base ))
+               configurations)
+        in
+        (bench.WL.Benchspec.name, totals, stalls))
+      WL.Mediabench.all
+  in
+  let rows_total = List.map (fun (n, t, _) -> (n, t)) cells in
+  let rows_stall = List.map (fun (n, _, s) -> (n, s)) cells in
   let columns = List.map (fun (n, _, _) -> n) configurations in
-  let finish rows = List.rev rows @ [ Context.amean (List.rev rows) ] in
+  let finish rows = rows @ [ Context.amean rows ] in
   [
     Table.make
       ~title:
         "Figure 8: total cycles normalized to the unified cache with 1-cycle \
          latency"
-      ~columns (finish !rows_total);
+      ~columns (finish rows_total);
     Table.make
       ~title:"Figure 8 (stall component of the normalized cycles)"
-      ~columns (finish !rows_stall);
+      ~columns (finish rows_stall);
   ]
 
 let headline ctx =
@@ -66,7 +69,7 @@ let headline ctx =
   | total :: _ ->
       ignore total;
       let rows =
-        List.map
+        Pool.map_ordered
           (fun bench ->
             let base =
               float_of_int

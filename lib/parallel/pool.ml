@@ -1,0 +1,188 @@
+(* A fixed-size domain pool over a mutex/condition work queue.
+
+   No dependencies beyond the stdlib: workers are Domain.t values
+   blocking on a Condition until work arrives or shutdown is requested.
+   Each map call submits one closure per input element; the closures
+   write into a caller-owned slot array, so the pool itself never needs
+   to know the element types.  Completion is tracked per batch with a
+   dedicated mutex/condition pair, which keeps unrelated concurrent
+   batches (there are none today, but nothing forbids them) from waking
+   each other spuriously. *)
+
+let max_jobs = 64
+
+type task = unit -> unit
+
+type shared = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled on enqueue and on shutdown *)
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type t = { jobs : int; shared : shared option }
+
+(* Set in every worker domain: a task that itself maps must run the
+   inner map sequentially — if every worker blocked waiting for nested
+   sub-tasks sitting behind it in the same queue, the pool would
+   deadlock. *)
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop shared () =
+  Domain.DLS.set in_worker_key true;
+  let rec loop () =
+    Mutex.lock shared.mutex;
+    while Queue.is_empty shared.queue && not shared.stop do
+      Condition.wait shared.work shared.mutex
+    done;
+    (* On shutdown the queue is drained before exiting, so no submitted
+       batch is ever abandoned. *)
+    if Queue.is_empty shared.queue then Mutex.unlock shared.mutex
+    else begin
+      let task = Queue.pop shared.queue in
+      Mutex.unlock shared.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | None -> Domain.recommended_domain_count ()
+    | Some j -> j
+  in
+  let jobs = max 1 (min jobs max_jobs) in
+  if jobs <= 1 then { jobs = 1; shared = None }
+  else begin
+    let shared =
+      {
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        queue = Queue.create ();
+        stop = false;
+        workers = [];
+      }
+    in
+    shared.workers <- List.init jobs (fun _ -> Domain.spawn (worker_loop shared));
+    { jobs; shared = Some shared }
+  end
+
+let jobs t = t.jobs
+
+let shutdown t =
+  match t.shared with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.mutex;
+      if s.stop then Mutex.unlock s.mutex
+      else begin
+        s.stop <- true;
+        Condition.broadcast s.work;
+        Mutex.unlock s.mutex;
+        List.iter Domain.join s.workers;
+        s.workers <- []
+      end
+
+(* Enqueue the batch and block until every task has run.  Tasks must not
+   raise (map's wrapper catches everything into its slot array). *)
+let run_batch s tasks =
+  let n = List.length tasks in
+  let finished = ref 0 in
+  let done_m = Mutex.create () and done_c = Condition.create () in
+  let wrap task () =
+    task ();
+    Mutex.lock done_m;
+    incr finished;
+    if !finished = n then Condition.signal done_c;
+    Mutex.unlock done_m
+  in
+  Mutex.lock s.mutex;
+  List.iter (fun task -> Queue.add (wrap task) s.queue) tasks;
+  Condition.broadcast s.work;
+  Mutex.unlock s.mutex;
+  Mutex.lock done_m;
+  while !finished < n do
+    Condition.wait done_c done_m
+  done;
+  Mutex.unlock done_m
+
+type ('b, 'e) slot = ('b, 'e) result option
+
+let map t f xs =
+  let usable s =
+    Mutex.lock s.mutex;
+    let u = not s.stop in
+    Mutex.unlock s.mutex;
+    u
+  in
+  match (t.shared, xs) with
+  | None, _ | _, ([] | [ _ ]) -> List.map f xs
+  | Some s, _ ->
+      if Domain.DLS.get in_worker_key || not (usable s) then List.map f xs
+      else begin
+        let arr = Array.of_list xs in
+        let n = Array.length arr in
+        let slots : ('b, exn * Printexc.raw_backtrace) slot array =
+          Array.make n None
+        in
+        let tasks =
+          List.init n (fun i () ->
+              slots.(i) <-
+                Some
+                  (match f arr.(i) with
+                  | v -> Ok v
+                  | exception e -> Error (e, Printexc.get_raw_backtrace ())))
+        in
+        run_batch s tasks;
+        (* Re-raise the earliest failure — what sequential List.map
+           would have raised first. *)
+        Array.iter
+          (function
+            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+            | Some (Ok _) -> ()
+            | None -> assert false (* run_batch waited for every task *))
+          slots;
+        List.init n (fun i ->
+            match slots.(i) with Some (Ok v) -> v | _ -> assert false)
+      end
+
+(* ------------------------------------------------- shared default pool *)
+
+let default_lock = Mutex.create ()
+let default_pool : t option ref = ref None
+let default_jobs_v = ref (Domain.recommended_domain_count ())
+let default_jobs () = !default_jobs_v
+
+let set_default_jobs j =
+  let j = max 1 j in
+  Mutex.lock default_lock;
+  let old = if j <> !default_jobs_v then !default_pool else None in
+  if j <> !default_jobs_v then default_pool := None;
+  default_jobs_v := j;
+  Mutex.unlock default_lock;
+  match old with Some p -> shutdown p | None -> ()
+
+let shared_pool () =
+  Mutex.lock default_lock;
+  let t =
+    match !default_pool with
+    | Some t -> t
+    | None ->
+        let t = create ~jobs:!default_jobs_v () in
+        default_pool := Some t;
+        t
+  in
+  Mutex.unlock default_lock;
+  t
+
+let map_ordered ?jobs f xs =
+  match jobs with
+  | Some j when j <= 1 -> List.map f xs
+  | None -> map (shared_pool ()) f xs
+  | Some j when j = default_jobs () -> map (shared_pool ()) f xs
+  | Some j ->
+      let t = create ~jobs:j () in
+      Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map t f xs)

@@ -1,0 +1,51 @@
+(** A fixed-size pool of OCaml 5 domains over a mutex/condition work
+    queue — the experiment engine's parallel substrate.
+
+    The pool exists so the paper artefact can evaluate independent
+    (benchmark, spec, architecture) cells concurrently while keeping the
+    rendered reports byte-identical to a sequential run: {!map_ordered}
+    preserves input order, and with [jobs = 1] no domain is ever
+    spawned, so [--jobs 1] reproduces today's single-core behaviour
+    exactly.
+
+    Nested calls are safe: a task that itself calls {!map_ordered} (or
+    {!map}) runs the inner map sequentially inside its worker domain
+    rather than deadlocking on the shared queue. *)
+
+type t
+(** A pool of worker domains.  Workers live until {!shutdown}. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [min jobs max_jobs] worker domains
+    ([max_jobs] caps runaway requests well below the runtime's domain
+    limit).  [jobs] defaults to [Domain.recommended_domain_count ()].
+    [jobs <= 1] creates a poolless handle that runs everything in the
+    calling domain. *)
+
+val jobs : t -> int
+(** Worker count the pool was created with (1 = sequential). *)
+
+val shutdown : t -> unit
+(** Ask the workers to exit once the queue drains and join them.
+    Idempotent.  Submitting to a shut-down pool runs sequentially. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map on an explicit pool.  Exceptions
+    raised by [f] are re-raised in the caller — the one belonging to the
+    earliest input element, matching what sequential [List.map] would
+    have raised first. *)
+
+val default_jobs : unit -> int
+(** The job count used by {!map_ordered} when [?jobs] is omitted.
+    Initially [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Set the default job count (clamped to [>= 1]) — the [--jobs] flag.
+    Shuts down and lazily re-creates the shared pool if the size
+    changed. *)
+
+val map_ordered : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_ordered ?jobs f xs] maps [f] over [xs] on the shared pool,
+    returning results in input order.  [?jobs] overrides the default
+    for this call only (a temporary pool is used when it differs from
+    the shared pool's size).  [jobs = 1] is exactly [List.map f xs]. *)

@@ -259,25 +259,30 @@ let candidate_clusters a hooks v ~allow_cross_cluster_mem =
       |> List.sort compare
       |> List.map (fun (_, _, c) -> c)
 
-let try_cycles a v c ~cycles =
+(* Probe up to [count] cycles starting at [first], stepping by [step]
+   (+1 ascending from estart, -1 descending from lstart).  Iterating the
+   window directly — rather than materializing a [List.init ii] list per
+   operation per II attempt — keeps the scheduler's hottest loop
+   allocation-free. *)
+let try_cycles a v c ~first ~count ~step =
   let snap = Mrt.snapshot a.mrt in
-  let rec loop = function
-    | [] -> false
-    | t :: rest -> (
-        match try_place a v c t with
-        | new_copies ->
-            a.start.(v) <- t;
-            a.cluster.(v) <- c;
-            let comp = a.mem_component.(v) in
-            if comp >= 0 && a.component_cluster.(comp) < 0 then
-              a.component_cluster.(comp) <- c;
-            List.iter (record_copy a) new_copies;
-            true
-        | exception Placement_failed ->
-            Mrt.restore a.mrt snap;
-            loop rest)
+  let rec loop i t =
+    if i >= count then false
+    else
+      match try_place a v c t with
+      | new_copies ->
+          a.start.(v) <- t;
+          a.cluster.(v) <- c;
+          let comp = a.mem_component.(v) in
+          if comp >= 0 && a.component_cluster.(comp) < 0 then
+            a.component_cluster.(comp) <- c;
+          List.iter (record_copy a) new_copies;
+          true
+      | exception Placement_failed ->
+          Mrt.restore a.mrt snap;
+          loop (i + 1) (t + step)
   in
-  loop cycles
+  loop 0 first
 
 let attempt cfg ddg ~latency ~prepared ~components ~hooks
     ~allow_cross_cluster_mem ~hoisted ~ii =
@@ -311,16 +316,14 @@ let attempt cfg ddg ~latency ~prepared ~components ~hooks
     List.exists
       (fun c ->
         let estart, lstart, has_pred, has_succ = window a v c in
-        let cycles =
-          match (has_pred, has_succ) with
-          | _, false -> List.init ii (fun k -> estart + k)
-          | false, true -> List.init ii (fun k -> lstart - k)
-          | true, true ->
-              let hi = min lstart (estart + ii - 1) in
-              if hi < estart then []
-              else List.init (hi - estart + 1) (fun k -> estart + k)
-        in
-        try_cycles a v c ~cycles)
+        match (has_pred, has_succ) with
+        | _, false -> try_cycles a v c ~first:estart ~count:ii ~step:1
+        | false, true -> try_cycles a v c ~first:lstart ~count:ii ~step:(-1)
+        | true, true ->
+            let hi = min lstart (estart + ii - 1) in
+            if hi < estart then false
+            else
+              try_cycles a v c ~first:estart ~count:(hi - estart + 1) ~step:1)
       clusters
   in
   let failed = ref None in

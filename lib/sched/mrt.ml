@@ -10,6 +10,10 @@ type t = {
   issue_used : int array array;
   bus_used : int array;  (** transfers holding some register bus at a cycle *)
   loads : int array;  (** issue slots per cluster, across all cycles *)
+  bus_scratch : int array;
+      (** reusable buffer for {!bus_window_usage} — the bus check runs on
+          every copy-slot probe of the scheduler's inner loop, so it must
+          not allocate *)
 }
 
 let create (cfg : Config.t) ~ii =
@@ -26,6 +30,7 @@ let create (cfg : Config.t) ~ii =
     issue_used = per_cluster ();
     bus_used = Array.make ii 0;
     loads = Array.make cfg.Config.n_clusters 0;
+    bus_scratch = Array.make ii 0;
   }
 
 let ii t = t.ii
@@ -71,8 +76,12 @@ let reserve_issue t ~cluster ~cycle =
    iterations' transfers are simultaneously in flight and alternate over
    the [n_reg_buses] physical buses, so per-slot usage is bounded by the
    bus count. *)
+(* Returns t.bus_scratch — valid only until the next call.  Both callers
+   consume the array before probing again, and an Mrt is never shared
+   across domains, so the single scratch buffer is safe. *)
 let bus_window_usage t ~cycle =
-  let usage = Array.make t.ii 0 in
+  let usage = t.bus_scratch in
+  Array.fill usage 0 t.ii 0;
   for k = 0 to t.cfg.Config.bus_occupancy - 1 do
     let s = slot t (cycle + k) in
     usage.(s) <- usage.(s) + 1

@@ -10,6 +10,7 @@ let () =
       ("report", Test_report.suite);
       ("regpressure", Test_regpressure.suite);
       ("disambiguation", Test_disambiguation.suite);
+      ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
       ("figures", Test_figures.suite);
       ("properties", Test_props.suite);

@@ -1,0 +1,168 @@
+(* The domain pool and the parallel experiment engine: ordering,
+   exception propagation, nested maps, the thread-safe compile memo
+   (single-flight), the config-fingerprinted cache key, and the
+   determinism guarantee — jobs=N output byte-identical to jobs=1. *)
+
+module Config = Vliw_arch.Config
+module Context = Vliw_experiments.Context
+module Pipeline = Vliw_core.Pipeline
+module Pool = Vliw_parallel.Pool
+module WL = Vliw_workloads
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+let cil = Alcotest.(list int)
+
+(* ----------------------------------------------------------- the pool *)
+
+let test_map_ordered_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * 7) + 3 in
+  check cil "jobs=4 equals List.map" (List.map f xs)
+    (Pool.map_ordered ~jobs:4 f xs);
+  check cil "jobs=1 equals List.map" (List.map f xs)
+    (Pool.map_ordered ~jobs:1 f xs);
+  check cil "empty list" [] (Pool.map_ordered ~jobs:4 f []);
+  check cil "singleton" [ f 9 ] (Pool.map_ordered ~jobs:4 f [ 9 ])
+
+let test_map_ordered_random_lists () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:50 ~name:"map_ordered = List.map"
+       QCheck.(list small_int)
+       (fun xs ->
+         let f x = (x * x) - (3 * x) in
+         Pool.map_ordered ~jobs:3 f xs = List.map f xs))
+
+let test_exception_propagates () =
+  match
+    Pool.map_ordered ~jobs:4
+      (fun i -> if i >= 5 then failwith (Printf.sprintf "boom%d" i) else i)
+      (List.init 10 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m ->
+      (* The earliest failing element wins, as in a sequential map. *)
+      check cs "earliest failure re-raised" "boom5" m
+
+let test_nested_map_runs_sequentially () =
+  (* A task that maps again must not deadlock on the shared queue. *)
+  let expected =
+    List.map
+      (fun i -> List.fold_left ( + ) 0 (List.map (fun j -> i * j) (List.init 5 Fun.id)))
+      (List.init 8 Fun.id)
+  in
+  let got =
+    Pool.map_ordered ~jobs:4
+      (fun i ->
+        List.fold_left ( + ) 0
+          (Pool.map_ordered ~jobs:4 (fun j -> i * j) (List.init 5 Fun.id)))
+      (List.init 8 Fun.id)
+  in
+  check cil "nested map" expected got
+
+let test_explicit_pool_lifecycle () =
+  let p = Pool.create ~jobs:4 () in
+  let xs = List.init 20 Fun.id in
+  check cil "first batch" (List.map succ xs) (Pool.map p succ xs);
+  check cil "pool is reusable" (List.map succ xs) (Pool.map p succ xs);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  check cil "map after shutdown degrades to sequential" (List.map succ xs)
+    (Pool.map p succ xs)
+
+(* ------------------------------------------------- cache key + memo *)
+
+let bench name = WL.Mediabench.find name
+
+let test_cache_key_includes_fingerprint () =
+  let spec = Context.interleaved `Ipbc in
+  let b = bench "gsmdec" in
+  let ctx = Context.create () in
+  let same = Context.create () in
+  let other_cfg =
+    Context.create ~cfg:{ Config.default with Config.ab_entries = 8 } ()
+  in
+  let other_seed = Context.create ~seed:8 () in
+  check cs "equal configs give equal keys" (Context.cache_key ctx b spec)
+    (Context.cache_key same b spec);
+  check cb "differing config changes the key" false
+    (Context.cache_key ctx b spec = Context.cache_key other_cfg b spec);
+  check cb "differing seed changes the key" false
+    (Context.cache_key ctx b spec = Context.cache_key other_seed b spec)
+
+let test_memo_single_flight () =
+  (* Hammer one key from 8 domains: single-flight means exactly one
+     compilation, so every caller gets the physically same list. *)
+  let ctx = Context.create () in
+  let spec = Context.interleaved `Ipbc in
+  let results =
+    Pool.map_ordered ~jobs:8
+      (fun _ -> Context.compiled ctx (bench "gsmdec") spec)
+      (List.init 8 Fun.id)
+  in
+  match results with
+  | [] -> Alcotest.fail "no results"
+  | first :: rest ->
+      List.iteri
+        (fun i cs ->
+          check cb (Printf.sprintf "caller %d shares the compilation" (i + 1))
+            true (cs == first))
+        rest
+
+(* --------------------------------------------------- determinism *)
+
+let with_default_jobs jobs f =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs saved) f
+
+let test_schedules_deterministic_across_jobs () =
+  let spec = Context.interleaved `Ipbc in
+  let names = [ "gsmdec"; "epicdec"; "jpegenc" ] in
+  let compile jobs =
+    with_default_jobs jobs (fun () ->
+        let ctx = Context.create () in
+        Pool.map_ordered (fun n -> Context.compiled ctx (bench n) spec) names)
+  in
+  let seq = compile 1 and par = compile 4 in
+  List.iter2
+    (fun cs1 cs2 ->
+      List.iter2
+        (fun (c1 : Pipeline.compiled) (c2 : Pipeline.compiled) ->
+          check cb "schedule equal across jobs" true
+            (c1.Pipeline.schedule = c2.Pipeline.schedule);
+          check cb "unroll factor equal across jobs" true
+            (c1.Pipeline.unroll_factor = c2.Pipeline.unroll_factor))
+        cs1 cs2)
+    seq par
+
+let render_fig4 ctx =
+  let buf = Buffer.create 65536 in
+  let ppf = Format.formatter_of_buffer buf in
+  Vliw_experiments.Fig4.run ppf ctx;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_fig4_output_byte_identical_across_jobs () =
+  let seq = with_default_jobs 1 (fun () -> render_fig4 (Context.create ())) in
+  let par = with_default_jobs 4 (fun () -> render_fig4 (Context.create ())) in
+  check cs "fig4 rendering byte-identical at jobs=4" seq par
+
+let suite =
+  [
+    ("pool: map_ordered preserves order", `Quick, test_map_ordered_preserves_order);
+    ("pool: map_ordered equals List.map (random)", `Quick,
+     test_map_ordered_random_lists);
+    ("pool: earliest exception propagates", `Quick, test_exception_propagates);
+    ("pool: nested maps don't deadlock", `Quick, test_nested_map_runs_sequentially);
+    ("pool: create/reuse/shutdown", `Quick, test_explicit_pool_lifecycle);
+    ("context: cache key carries config fingerprint", `Quick,
+     test_cache_key_includes_fingerprint);
+    ("context: memo is single-flight under contention", `Slow,
+     test_memo_single_flight);
+    ("determinism: schedules equal at jobs=1 and jobs=4", `Slow,
+     test_schedules_deterministic_across_jobs);
+    ("determinism: fig4 byte-identical at jobs=1 and jobs=4", `Slow,
+     test_fig4_output_byte_identical_across_jobs);
+  ]

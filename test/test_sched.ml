@@ -112,6 +112,33 @@ let test_mrt_bus_wrap () =
   check cb "two transfers fill four bus-slots" false
     (Mrt.reg_bus_free mrt ~cycle:0)
 
+let test_mrt_bus_scratch_reuse () =
+  (* Regression for the allocation-free bus_window_usage: interleaved
+     probes at different cycles must not corrupt each other's accounting
+     (the scratch buffer is refilled per call), and wrap-around charging
+     is unchanged. *)
+  let mrt = Mrt.create cfg ~ii:2 in
+  (* Occupancy 2 at II=2: every transfer covers both slots, regardless
+     of its start cycle. *)
+  for k = 1 to cfg.Config.n_reg_buses do
+    check cb "probe cycle 0 before reserve" true (Mrt.reg_bus_free mrt ~cycle:0);
+    check cb "probe cycle 1 before reserve" true (Mrt.reg_bus_free mrt ~cycle:1);
+    Mrt.reserve_reg_bus mrt ~cycle:(k mod 2)
+  done;
+  check cb "slot 0 saturated" false (Mrt.reg_bus_free mrt ~cycle:0);
+  check cb "slot 1 saturated" false (Mrt.reg_bus_free mrt ~cycle:1);
+  (* II=3: a transfer at cycle 2 wraps into slot 0; after n_reg_buses of
+     them, slots 0 and 2 hold 4 transfers each and every start cycle's
+     window hits one of them. *)
+  let m3 = Mrt.create cfg ~ii:3 in
+  for _ = 1 to cfg.Config.n_reg_buses do
+    check cb "wrapped reserve fits" true (Mrt.reg_bus_free m3 ~cycle:2);
+    Mrt.reserve_reg_bus m3 ~cycle:2
+  done;
+  check cb "window 0-1 hits slot 0" false (Mrt.reg_bus_free m3 ~cycle:0);
+  check cb "window 1-2 hits slot 2" false (Mrt.reg_bus_free m3 ~cycle:1);
+  check cb "window 2-0 hits both" false (Mrt.reg_bus_free m3 ~cycle:2)
+
 let test_mrt_snapshot () =
   let mrt = Mrt.create cfg ~ii:2 in
   let snap = Mrt.snapshot mrt in
@@ -407,6 +434,8 @@ let suite =
     ("mrt: issue width", `Quick, test_mrt_issue_width);
     ("mrt: bus occupancy", `Quick, test_mrt_bus_occupancy);
     ("mrt: bus wrap at small II", `Quick, test_mrt_bus_wrap);
+    ("mrt: bus scratch reuse keeps wrap accounting", `Quick,
+     test_mrt_bus_scratch_reuse);
     ("mrt: snapshot/restore", `Quick, test_mrt_snapshot);
     ("ordering: permutation", `Quick, test_ordering_permutation);
     ("ordering: recurrences first", `Quick, test_ordering_recurrence_first);
