@@ -10,6 +10,18 @@ type t = {
   ready_at : int;  (** absolute cycle at which the datum is available *)
 }
 
+(** Mutable result slot for the allocation-free access entry points
+    ([access_into] in the cache models): the caller allocates one
+    scratch up front and every access overwrites it, so the simulation
+    hot loop never allocates an access record. *)
+type scratch = { mutable s_kind : kind; mutable s_ready_at : int }
+
+val scratch : unit -> scratch
+(** A fresh scratch slot (initialized to a local hit at cycle 0). *)
+
+val of_scratch : scratch -> t
+(** Snapshot the scratch into an immutable {!t} (allocates). *)
+
 val latency : Config.t -> kind -> int
 (** Architectural latency of a non-combined access class.
     @raise Invalid_argument on [Combined] (its latency is the residual

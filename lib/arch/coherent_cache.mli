@@ -15,6 +15,11 @@ val create : Config.t -> t
 
 val access : t -> now:int -> cluster:int -> addr:int -> store:bool -> Access.t
 
+val access_into :
+  t -> Access.scratch -> now:int -> cluster:int -> addr:int -> store:bool -> unit
+(** Allocation-free variant of {!access}: identical semantics, result
+    written into the caller's scratch slot. *)
+
 val end_of_loop : t -> unit
 (** Forget pending-fill bookkeeping (cache contents persist; the
     multiVLIW needs no inter-loop flush). *)
@@ -25,11 +30,14 @@ val state : t -> cluster:int -> block:int -> [ `Modified | `Shared | `Invalid ]
 (** Protocol traffic counters — the cost side of the paper's
     "the multiVLIW has a more complex cache and bus design" argument. *)
 type traffic = {
-  invalidations : int;  (** lines killed in other clusters by stores *)
-  cache_to_cache : int;  (** transfers served by a peer cache *)
-  memory_fills : int;  (** fills from the next memory level *)
-  snoops : int;  (** bus transactions every cache had to watch *)
+  mutable invalidations : int;
+      (** lines killed in other clusters by stores *)
+  mutable cache_to_cache : int;  (** transfers served by a peer cache *)
+  mutable memory_fills : int;  (** fills from the next memory level *)
+  mutable snoops : int;  (** bus transactions every cache had to watch *)
 }
 
 val traffic : t -> traffic
+(** Live counters (mutable so the access path can bump them without
+    allocating a record per access) — read, don't write. *)
 

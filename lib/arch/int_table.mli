@@ -1,0 +1,27 @@
+(** Allocation-free open-addressing map from non-negative int keys to
+    int values — the pending-request bookkeeping of the cache models,
+    probed on every simulated access.
+
+    [set] and [find] never allocate once the table has grown to its
+    working size; there is no per-key deletion, only {!reset} (the
+    between-loops flush), which clears every binding but keeps the
+    capacity. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] — initial capacity hint (rounded up to a power of
+    two, at least 16). *)
+
+val set : t -> int -> int -> unit
+(** Insert or overwrite.  @raise Invalid_argument on a negative key. *)
+
+val find : t -> int -> default:int -> int
+(** [find t k ~default] is the value bound to [k], or [default].
+    Never allocates. *)
+
+val reset : t -> unit
+(** Remove every binding, keeping the allocated capacity. *)
+
+val length : t -> int
+(** Number of live bindings. *)

@@ -1,15 +1,15 @@
 type traffic = {
-  remote_words : int;
-  block_fills : int;
-  attractions : int;
+  mutable remote_words : int;
+  mutable block_fills : int;
+  mutable attractions : int;
 }
 
 type t = {
   cfg : Config.t;
   tags : Set_assoc.t;  (** replicated tags: presence of whole blocks *)
   ab : Attraction_buffer.t option;
-  mutable stats : traffic;
-  pending : (int, int) Hashtbl.t;
+  stats : traffic;
+  pending : Int_table.t;
       (** (block * n_clusters + home) -> ready cycle of the in-flight
           request for that subblock *)
 }
@@ -24,7 +24,7 @@ let create ?(with_ab = false) cfg =
         ~ways:cfg.Config.associativity;
     ab = (if with_ab then Some (Attraction_buffer.create cfg) else None);
     stats = { remote_words = 0; block_fills = 0; attractions = 0 };
-    pending = Hashtbl.create 64;
+    pending = Int_table.create 64;
   }
 
 let config t = t.cfg
@@ -32,15 +32,21 @@ let has_ab t = Option.is_some t.ab
 
 let pending_key t ~block ~home = (block * t.cfg.Config.n_clusters) + home
 
+(* -1 = nothing in flight for that subblock (ready cycles are >= 0). *)
 let pending_ready t ~now ~block ~home =
-  match Hashtbl.find_opt t.pending (pending_key t ~block ~home) with
-  | Some ready when ready > now -> Some ready
-  | Some _ | None -> None
+  let ready =
+    Int_table.find t.pending (pending_key t ~block ~home) ~default:(-1)
+  in
+  if ready > now then ready else -1
 
 let set_pending t ~block ~home ~ready =
-  Hashtbl.replace t.pending (pending_key t ~block ~home) ready
+  Int_table.set t.pending (pending_key t ~block ~home) ready
 
-let access t ?(attract = true) ~now ~cluster ~addr ~store () =
+(* The allocation-free core: writes the classification and ready cycle
+   into [out] instead of returning a fresh record.  [attract] is a
+   mandatory label here — the optional-argument wrapper below would
+   otherwise box a [Some b] on every call from the simulation loop. *)
+let access_into t (out : Access.scratch) ~attract ~now ~cluster ~addr ~store =
   let cfg = t.cfg in
   let home = Config.cluster_of_addr cfg addr in
   let block = Config.block_of_addr cfg addr in
@@ -52,59 +58,62 @@ let access t ?(attract = true) ~now ~cluster ~addr ~store () =
     | Some ab -> Attraction_buffer.holds ab ~cluster ~block ~home
     | None -> false
   in
-  if ab_hit then
+  if ab_hit then begin
     (* Satisfied from the local attraction buffer at local-hit latency.
        A store also updates the home module; chains guarantee no other
        cluster reads the stale home copy meanwhile, so no extra cost. *)
-    { Access.kind = Access.Local_hit; ready_at = now + cfg.Config.lat_local_hit }
+    out.Access.s_kind <- Access.Local_hit;
+    out.Access.s_ready_at <- now + cfg.Config.lat_local_hit
+  end
   else
-    match pending_ready t ~now ~block ~home with
-    | Some ready -> { Access.kind = Access.Combined; ready_at = ready }
-    | None ->
-        if Set_assoc.lookup t.tags block then
-          if local then
-            {
-              Access.kind = Access.Local_hit;
-              ready_at = now + cfg.Config.lat_local_hit;
-            }
-          else begin
-            let ready = now + cfg.Config.lat_remote_hit in
-            set_pending t ~block ~home ~ready;
-            t.stats <- { t.stats with remote_words = t.stats.remote_words + 1 };
-            (match t.ab with
-            | Some ab when attract && not store ->
-                Attraction_buffer.attract ab ~cluster ~block ~home;
-                t.stats <- { t.stats with attractions = t.stats.attractions + 1 }
-            | Some _ | None -> ());
-            { Access.kind = Access.Remote_hit; ready_at = ready }
-          end
-        else begin
-          (* Miss: the whole block is fetched; every subblock is in
-             flight until the fill completes. *)
-          ignore (Set_assoc.insert t.tags block);
-          t.stats <-
-            {
-              t.stats with
-              block_fills = t.stats.block_fills + 1;
-              remote_words =
-                (t.stats.remote_words + if local then 0 else 1);
-            };
-          let lat =
-            if local then cfg.Config.lat_local_miss
-            else cfg.Config.lat_remote_miss
-          in
-          let ready = now + lat in
-          for m = 0 to cfg.Config.n_clusters - 1 do
-            set_pending t ~block ~home:m ~ready
-          done;
-          let kind =
-            if local then Access.Local_miss else Access.Remote_miss
-          in
-          { Access.kind; ready_at = ready }
-        end
+    let ready = pending_ready t ~now ~block ~home in
+    if ready >= 0 then begin
+      out.Access.s_kind <- Access.Combined;
+      out.Access.s_ready_at <- ready
+    end
+    else if Set_assoc.lookup t.tags block then
+      if local then begin
+        out.Access.s_kind <- Access.Local_hit;
+        out.Access.s_ready_at <- now + cfg.Config.lat_local_hit
+      end
+      else begin
+        let ready = now + cfg.Config.lat_remote_hit in
+        set_pending t ~block ~home ~ready;
+        t.stats.remote_words <- t.stats.remote_words + 1;
+        (match t.ab with
+        | Some ab when attract && not store ->
+            Attraction_buffer.attract ab ~cluster ~block ~home;
+            t.stats.attractions <- t.stats.attractions + 1
+        | Some _ | None -> ());
+        out.Access.s_kind <- Access.Remote_hit;
+        out.Access.s_ready_at <- ready
+      end
+    else begin
+      (* Miss: the whole block is fetched; every subblock is in
+         flight until the fill completes. *)
+      ignore (Set_assoc.insert t.tags block);
+      t.stats.block_fills <- t.stats.block_fills + 1;
+      if not local then t.stats.remote_words <- t.stats.remote_words + 1;
+      let lat =
+        if local then cfg.Config.lat_local_miss
+        else cfg.Config.lat_remote_miss
+      in
+      let ready = now + lat in
+      for m = 0 to cfg.Config.n_clusters - 1 do
+        set_pending t ~block ~home:m ~ready
+      done;
+      out.Access.s_kind <-
+        (if local then Access.Local_miss else Access.Remote_miss);
+      out.Access.s_ready_at <- ready
+    end
+
+let access t ?(attract = true) ~now ~cluster ~addr ~store () =
+  let out = Access.scratch () in
+  access_into t out ~attract ~now ~cluster ~addr ~store;
+  Access.of_scratch out
 
 let end_of_loop t =
-  Hashtbl.reset t.pending;
+  Int_table.reset t.pending;
   match t.ab with Some ab -> Attraction_buffer.flush ab | None -> ()
 
 let ab_occupancy t c =

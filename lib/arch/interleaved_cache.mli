@@ -27,6 +27,20 @@ val access :
     [attract] (default [true]) lets the compiler's "attractable" hints
     suppress attraction for loads that would thrash the buffer. *)
 
+val access_into :
+  t ->
+  Access.scratch ->
+  attract:bool ->
+  now:int ->
+  cluster:int ->
+  addr:int ->
+  store:bool ->
+  unit
+(** Allocation-free variant of {!access}: identical semantics, but the
+    result is written into the caller's scratch slot and [attract] is a
+    mandatory label (an optional argument would box on every call).
+    This is the entry point of the simulator's steady-state loop. *)
+
 val end_of_loop : t -> unit
 (** Flush attraction buffers and forget pending requests — executed
     between loops, as the paper requires for correctness. *)
@@ -42,9 +56,13 @@ val resident : t -> block:int -> bool
     the simplicity argument of the paper's comparison with the
     multiVLIW. *)
 type traffic = {
-  remote_words : int;  (** word requests sent over the memory buses *)
-  block_fills : int;  (** whole-block fills from the next level *)
-  attractions : int;  (** subblocks replicated into attraction buffers *)
+  mutable remote_words : int;
+      (** word requests sent over the memory buses *)
+  mutable block_fills : int;  (** whole-block fills from the next level *)
+  mutable attractions : int;
+      (** subblocks replicated into attraction buffers *)
 }
 
 val traffic : t -> traffic
+(** Live counters (mutable so the access path can bump them without
+    allocating a record per access) — read, don't write. *)

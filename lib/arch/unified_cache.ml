@@ -2,7 +2,7 @@ type t = {
   cfg : Config.t;
   tags : Set_assoc.t;
   hit_lat : int;
-  pending : (int, int) Hashtbl.t;  (** block -> fill-ready cycle *)
+  pending : Int_table.t;  (** block -> fill-ready cycle *)
 }
 
 let create ~slow (cfg : Config.t) =
@@ -15,23 +15,33 @@ let create ~slow (cfg : Config.t) =
         ~ways:cfg.Config.associativity;
     hit_lat =
       (if slow then cfg.Config.lat_unified_slow else cfg.Config.lat_unified_fast);
-    pending = Hashtbl.create 64;
+    pending = Int_table.create 64;
   }
 
 let hit_latency t = t.hit_lat
 
-let access t ~now ~addr =
+let access_into t (out : Access.scratch) ~now ~addr =
   let block = Config.block_of_addr t.cfg addr in
-  match Hashtbl.find_opt t.pending block with
-  | Some ready when ready > now -> { Access.kind = Access.Combined; ready_at = ready }
-  | Some _ | None ->
-      if Set_assoc.lookup t.tags block then
-        { Access.kind = Access.Local_hit; ready_at = now + t.hit_lat }
-      else begin
-        ignore (Set_assoc.insert t.tags block);
-        let ready = now + t.hit_lat + t.cfg.Config.lat_next_level in
-        Hashtbl.replace t.pending block ready;
-        { Access.kind = Access.Local_miss; ready_at = ready }
-      end
+  let ready = Int_table.find t.pending block ~default:(-1) in
+  if ready > now then begin
+    out.Access.s_kind <- Access.Combined;
+    out.Access.s_ready_at <- ready
+  end
+  else if Set_assoc.lookup t.tags block then begin
+    out.Access.s_kind <- Access.Local_hit;
+    out.Access.s_ready_at <- now + t.hit_lat
+  end
+  else begin
+    ignore (Set_assoc.insert t.tags block);
+    let ready = now + t.hit_lat + t.cfg.Config.lat_next_level in
+    Int_table.set t.pending block ready;
+    out.Access.s_kind <- Access.Local_miss;
+    out.Access.s_ready_at <- ready
+  end
 
-let end_of_loop t = Hashtbl.reset t.pending
+let access t ~now ~addr =
+  let out = Access.scratch () in
+  access_into t out ~now ~addr;
+  Access.of_scratch out
+
+let end_of_loop t = Int_table.reset t.pending

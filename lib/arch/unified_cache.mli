@@ -13,5 +13,9 @@ val hit_latency : t -> int
 
 val access : t -> now:int -> addr:int -> Access.t
 
+val access_into : t -> Access.scratch -> now:int -> addr:int -> unit
+(** Allocation-free variant of {!access}: identical semantics, result
+    written into the caller's scratch slot. *)
+
 val end_of_loop : t -> unit
 (** Forget pending-fill bookkeeping between loops. *)

@@ -64,9 +64,12 @@ let policy_of_target target ~chains ~profile =
   | Interleaved { heuristic = `Ibc; chains = false } | Unified _ ->
       Cluster_heuristic.All_free
 
-let compile_factor cfg ~target ~profiler ~source factor =
+let compile_factor cfg ~target ~profiler ~source ~base_profile factor =
   let loop = Loop.unrolled source ~factor in
-  let profile = profiler loop in
+  (* Unrolling by 1 shares the source's DDG and trip count, so its
+     profile is the base profile already in hand — re-profiling it would
+     repeat the most expensive phase of a selective compile. *)
+  let profile = if factor = 1 then base_profile else profiler loop in
   let mode = mode_of_target cfg target in
   let latencies =
     Latency_assign.assign cfg loop.Loop.ddg ~mode ~profile
@@ -110,7 +113,7 @@ let compile cfg ~target ~strategy ~profiler source =
       strategy
   in
   let candidates =
-    List.map (compile_factor cfg ~target ~profiler ~source) factors
+    List.map (compile_factor cfg ~target ~profiler ~source ~base_profile) factors
   in
   match candidates with
   | [] -> raise (Scheduling_failed source.Loop.name)

@@ -10,25 +10,39 @@ module Sim = Vliw_sim
    experiment engine, so it is mutex-guarded with per-key single-flight:
    the first domain to ask for a key claims it (In_flight) and compiles
    outside the lock; latecomers block on the condition until the result
-   lands.  No (bench, spec) pair is ever compiled twice. *)
+   lands.  No (bench, spec) pair is ever compiled twice.
+
+   The memo is sharded by key hash: domains asking for different keys
+   contend on different locks, and a broadcast after a compile only
+   wakes waiters of that shard rather than every blocked domain.
+   Single-flight still holds per key because a key always maps to the
+   same shard. *)
 type entry = In_flight | Ready of Pipeline.compiled list
 
-type t = {
-  cfg : Config.t;
-  seed : int;
+type shard = {
   cache : (string, entry) Hashtbl.t;
   lock : Mutex.t;
   ready : Condition.t;
 }
 
+let n_shards = 16 (* power of two: shard index is a mask of the hash *)
+
+type t = { cfg : Config.t; seed : int; shards : shard array }
+
 let create ?(cfg = Config.default) ?(seed = 7) () =
   {
     cfg;
     seed;
-    cache = Hashtbl.create 64;
-    lock = Mutex.create ();
-    ready = Condition.create ();
+    shards =
+      Array.init n_shards (fun _ ->
+          {
+            cache = Hashtbl.create 8;
+            lock = Mutex.create ();
+            ready = Condition.create ();
+          });
   }
+
+let shard_for t key = t.shards.(Hashtbl.hash key land (n_shards - 1))
 
 let cfg t = t.cfg
 
@@ -65,18 +79,19 @@ let compile_uncached t bench spec =
 
 let compiled t bench spec =
   let key = cache_key t bench spec in
-  Mutex.lock t.lock;
+  let sh = shard_for t key in
+  Mutex.lock sh.lock;
   let rec claim () =
-    match Hashtbl.find_opt t.cache key with
+    match Hashtbl.find_opt sh.cache key with
     | Some (Ready cs) ->
-        Mutex.unlock t.lock;
+        Mutex.unlock sh.lock;
         `Hit cs
     | Some In_flight ->
-        Condition.wait t.ready t.lock;
+        Condition.wait sh.ready sh.lock;
         claim ()
     | None ->
-        Hashtbl.replace t.cache key In_flight;
-        Mutex.unlock t.lock;
+        Hashtbl.replace sh.cache key In_flight;
+        Mutex.unlock sh.lock;
         `Miss
   in
   match claim () with
@@ -84,18 +99,18 @@ let compiled t bench spec =
   | `Miss -> (
       match compile_uncached t bench spec with
       | cs ->
-          Mutex.lock t.lock;
-          Hashtbl.replace t.cache key (Ready cs);
-          Condition.broadcast t.ready;
-          Mutex.unlock t.lock;
+          Mutex.lock sh.lock;
+          Hashtbl.replace sh.cache key (Ready cs);
+          Condition.broadcast sh.ready;
+          Mutex.unlock sh.lock;
           cs
       | exception e ->
           (* Release the claim so waiters retry (and fail) themselves
              instead of blocking forever. *)
-          Mutex.lock t.lock;
-          Hashtbl.remove t.cache key;
-          Condition.broadcast t.ready;
-          Mutex.unlock t.lock;
+          Mutex.lock sh.lock;
+          Hashtbl.remove sh.cache key;
+          Condition.broadcast sh.ready;
+          Mutex.unlock sh.lock;
           raise e)
 
 let run_loops_on t bench spec ~machine ~cfg ?(hints = false) () =

@@ -3,9 +3,12 @@
 
     Every figure reuses compilations of the same (benchmark, target,
     unroll strategy, alignment) combination, so compiled loops are
-    memoized per context.  The memo is thread-safe (mutex-guarded,
-    per-key single-flight), so one context can be shared by all worker
-    domains of the parallel experiment engine. *)
+    memoized per context.  The memo is thread-safe and sharded by key
+    hash: each shard has its own mutex/condition, so worker domains
+    asking for different keys do not contend on a single global lock,
+    while per-key single-flight still guarantees no key is ever
+    compiled twice.  One context can be shared by all worker domains of
+    the parallel experiment engine. *)
 
 type t
 
@@ -34,9 +37,10 @@ val cache_key : t -> Vliw_workloads.Benchspec.t -> spec -> string
 
 val compiled : t -> Vliw_workloads.Benchspec.t -> spec -> Vliw_core.Pipeline.compiled list
 (** Compile (or fetch from cache) every loop of the benchmark.
-    Thread-safe: the memo is mutex-guarded with per-key single-flight,
-    so concurrent callers of the same key block until the first
-    finishes rather than compiling twice. *)
+    Thread-safe: the memo shard owning the key is mutex-guarded with
+    per-key single-flight, so concurrent callers of the same key block
+    until the first finishes rather than compiling twice, and callers
+    of different keys usually proceed on independent shard locks. *)
 
 val run :
   t ->

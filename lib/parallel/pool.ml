@@ -11,6 +11,15 @@
 
 let max_jobs = 64
 
+(* Spawning more domains than the hardware can run in parallel is a net
+   loss, not a no-op: every domain participates in stop-the-world minor
+   collections, so oversubscribed workers add synchronization cost on
+   top of plain time-slicing.  On a single-core host this made
+   [--jobs 2] run the fig4 sweep ~2x *slower* than [--jobs 1]. *)
+let hw_parallelism = Domain.recommended_domain_count ()
+
+let effective_jobs requested = max 1 (min (min requested max_jobs) hw_parallelism)
+
 type task = unit -> unit
 
 type shared = {
@@ -49,12 +58,8 @@ let worker_loop shared () =
   loop ()
 
 let create ?jobs () =
-  let jobs =
-    match jobs with
-    | None -> Domain.recommended_domain_count ()
-    | Some j -> j
-  in
-  let jobs = max 1 (min jobs max_jobs) in
+  let requested = match jobs with None -> hw_parallelism | Some j -> j in
+  let jobs = effective_jobs requested in
   if jobs <= 1 then { jobs = 1; shared = None }
   else begin
     let shared =

@@ -16,14 +16,23 @@ type t
 (** A pool of worker domains.  Workers live until {!shutdown}. *)
 
 val create : ?jobs:int -> unit -> t
-(** [create ~jobs ()] spawns [min jobs max_jobs] worker domains
-    ([max_jobs] caps runaway requests well below the runtime's domain
-    limit).  [jobs] defaults to [Domain.recommended_domain_count ()].
-    [jobs <= 1] creates a poolless handle that runs everything in the
-    calling domain. *)
+(** [create ~jobs ()] spawns [effective_jobs jobs] worker domains.
+    [jobs] defaults to [Domain.recommended_domain_count ()].  An
+    effective count [<= 1] creates a poolless handle that runs
+    everything in the calling domain. *)
 
 val jobs : t -> int
-(** Worker count the pool was created with (1 = sequential). *)
+(** Worker-domain count the pool actually runs with (1 = sequential);
+    may be lower than the [~jobs] requested — see {!effective_jobs}. *)
+
+val effective_jobs : int -> int
+(** How many worker domains a pool created with [~jobs] would actually
+    spawn on this machine: the request clamped to [1 .. max_jobs] and to
+    [Domain.recommended_domain_count ()].  Oversubscribing domains is a
+    net loss (every domain joins stop-the-world minor collections), so
+    requests beyond the hardware's parallelism degrade gracefully to
+    what the host can truly run — on a 1-core host any [--jobs n] is
+    effectively sequential rather than 2x slower. *)
 
 val shutdown : t -> unit
 (** Ask the workers to exit once the queue drains and join them.

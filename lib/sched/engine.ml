@@ -28,6 +28,9 @@ type attempt = {
   copy_times : (int * int, int list) Hashtbl.t;  (* (src_op, to_cluster) *)
   mem_component : int array;  (* -1 for non-memory ops *)
   component_cluster : int array;  (* -1 = not yet pinned *)
+  snap : Mrt.snapshot;
+      (* reusable rollback buffer — [try_cycles] saves/restores on every
+         placement probe, and only one probe is live at a time *)
 }
 
 (* Memory-dependence components (the paper's chains): all their members
@@ -265,7 +268,7 @@ let candidate_clusters a hooks v ~allow_cross_cluster_mem =
    operation per II attempt — keeps the scheduler's hottest loop
    allocation-free. *)
 let try_cycles a v c ~first ~count ~step =
-  let snap = Mrt.snapshot a.mrt in
+  Mrt.save a.mrt a.snap;
   let rec loop i t =
     if i >= count then false
     else
@@ -279,7 +282,7 @@ let try_cycles a v c ~first ~count ~step =
           List.iter (record_copy a) new_copies;
           true
       | exception Placement_failed ->
-          Mrt.restore a.mrt snap;
+          Mrt.restore a.mrt a.snap;
           loop (i + 1) (t + step)
   in
   loop 0 first
@@ -289,19 +292,21 @@ let attempt cfg ddg ~latency ~prepared ~components ~hooks
   hooks.reset ();
   let n = Ddg.n_ops ddg in
   let mem_component, n_components = components in
+  let mrt = Mrt.create cfg ~ii in
   let a =
     {
       cfg;
       ddg;
       latency;
       ii;
-      mrt = Mrt.create cfg ~ii;
+      mrt;
       start = Array.make n 0;
       cluster = Array.make n (-1);
       copies = [];
       copy_times = Hashtbl.create 16;
       mem_component;
       component_cluster = Array.make (max 1 n_components) (-1);
+      snap = Mrt.make_snapshot mrt;
     }
   in
   let order =

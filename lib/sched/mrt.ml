@@ -117,7 +117,7 @@ type snapshot = {
 
 let copy_matrix m = Array.map Array.copy m
 
-let snapshot t =
+let make_snapshot t =
   {
     s_int = copy_matrix t.int_used;
     s_fp = copy_matrix t.fp_used;
@@ -126,6 +126,23 @@ let snapshot t =
     s_bus = Array.copy t.bus_used;
     s_loads = Array.copy t.loads;
   }
+
+(* Overwrite [s] with the current state: the scheduler snapshots before
+   every placement probe, so reusing one buffer per attempt instead of
+   allocating six fresh arrays per probe keeps the inner search loop
+   allocation-free. *)
+let save t s =
+  let blit_matrix src dst =
+    Array.iteri (fun i row -> Array.blit row 0 dst.(i) 0 (Array.length row)) src
+  in
+  blit_matrix t.int_used s.s_int;
+  blit_matrix t.fp_used s.s_fp;
+  blit_matrix t.mem_used s.s_mem;
+  blit_matrix t.issue_used s.s_issue;
+  Array.blit t.bus_used 0 s.s_bus 0 (Array.length t.bus_used);
+  Array.blit t.loads 0 s.s_loads 0 (Array.length t.loads)
+
+let snapshot t = make_snapshot t
 
 let restore t s =
   let blit_matrix src dst =

@@ -40,6 +40,15 @@ type snapshot
 val snapshot : t -> snapshot
 (** Capture the full reservation state (cheap: the table is tiny). *)
 
+val make_snapshot : t -> snapshot
+(** Allocate a snapshot buffer sized for [t] holding the current state.
+    Combine with {!save} to reuse one buffer across many probes instead
+    of allocating per probe. *)
+
+val save : t -> snapshot -> unit
+(** Overwrite an existing snapshot with the current state.  The snapshot
+    must have been created from an Mrt of the same shape. *)
+
 val restore : t -> snapshot -> unit
 (** Roll back to a snapshot — used when a placement attempt reserved
     copy resources and then failed on a later constraint. *)

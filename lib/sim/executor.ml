@@ -1,4 +1,5 @@
 module Access = Vliw_arch.Access
+module Arch = Vliw_arch
 module Config = Vliw_arch.Config
 module Ddg = Vliw_ir.Ddg
 module Loop = Vliw_ir.Loop
@@ -36,17 +37,161 @@ let stall_factors cfg (c : Pipeline.compiled) ~unclear_threshold op =
       | None -> ());
       !factors
 
+(* The mem-ops of the loop in issue order — shared by both executors so
+   the access streams are identical (List.sort is stable). *)
+let mem_ops_in_issue_order (c : Pipeline.compiled) =
+  let sched = c.Pipeline.schedule in
+  Ddg.memory_ops c.Pipeline.loop.Loop.ddg
+  |> List.sort (fun a b ->
+         compare sched.Schedule.start.(a) sched.Schedule.start.(b))
+
+(* ------------------------------------------------------------------ *)
+(* The access-plan kernel.
+
+   Everything the steady-state loop needs is precomputed into flat
+   arrays indexed by mem-op plan position: start cycle, cluster, parts,
+   store/attract flags, promised latency, and the Figure-5 factor mask.
+   The backend dispatch is hoisted out of the loop — each [Machine.state]
+   arm instantiates the driver with a monomorphic access closure calling
+   that cache's allocation-free [access_into] — and access results come
+   back through two mutable scratch slots.  The steady-state (hit-path)
+   loop performs zero heap allocation; miss paths may grow the cache's
+   pending table, which is amortized and bounded by the blocks in
+   flight. *)
+
+type plan = {
+  ops : int array;  (* op id, in issue order *)
+  starts : int array;  (* start cycle within the II *)
+  clusters : int array;
+  stores : bool array;
+  parts : int array;  (* subword parts an element spans *)
+  promised : int array;  (* latency the schedule promised the load *)
+  attracts : bool array;
+  factor_masks : int array;  (* Stats.factor_mask of the op's factors *)
+}
+
+let build_plan cfg (c : Pipeline.compiled) ?attractable ~unclear_threshold ()
+    =
+  let ddg = c.Pipeline.loop.Loop.ddg in
+  let sched = c.Pipeline.schedule in
+  let i_factor = cfg.Config.interleaving_factor in
+  let ops = Array.of_list (mem_ops_in_issue_order c) in
+  let n = Array.length ops in
+  let p =
+    {
+      ops;
+      starts = Array.make n 0;
+      clusters = Array.make n 0;
+      stores = Array.make n false;
+      parts = Array.make n 1;
+      promised = Array.make n 0;
+      attracts = Array.make n true;
+      factor_masks = Array.make n 0;
+    }
+  in
+  Array.iteri
+    (fun k op ->
+      let o = Ddg.op ddg op in
+      p.starts.(k) <- sched.Schedule.start.(op);
+      p.clusters.(k) <- sched.Schedule.cluster.(op);
+      p.stores.(k) <- Operation.is_store o;
+      (* Elements wider than the interleaving factor span several
+         clusters: the access completes when its slowest part does and
+         is classified by that part (so a double-word access can never
+         be a plain local hit — Section 5.2). *)
+      let granularity =
+        match o.Operation.mem with
+        | Some m -> m.Mem_access.granularity
+        | None -> i_factor
+      in
+      p.parts.(k) <- max 1 ((granularity + i_factor - 1) / i_factor);
+      p.promised.(k) <- c.Pipeline.latencies.(op);
+      (match attractable with
+      | None -> ()
+      | Some flags -> p.attracts.(k) <- flags.(op));
+      p.factor_masks.(k) <-
+        Stats.factor_mask (stall_factors cfg c ~unclear_threshold op))
+    ops;
+  p
+
 let run_loop cfg machine (c : Pipeline.compiled) ~addr_of ?attractable
     ?(unclear_threshold = default_unclear_threshold) () =
+  let trip = c.Pipeline.loop.Loop.trip_count in
+  let sched = c.Pipeline.schedule in
+  let ii = sched.Schedule.ii in
+  let p = build_plan cfg c ?attractable ~unclear_threshold () in
+  let n = Array.length p.ops in
+  let i_factor = cfg.Config.interleaving_factor in
+  let stats = Stats.create () in
+  let stall = ref 0 in
+  (* Scratch slots, allocated once: [out] receives each part's result,
+     [slowest] folds the parts of one element. *)
+  let out = Access.scratch () in
+  let slowest = Access.scratch () in
+  (* Accounting once the slowest part of an element is known. *)
+  let finish k issue =
+    let kind = slowest.Access.s_kind in
+    Stats.count_access stats kind;
+    if not p.stores.(k) then begin
+      let s = slowest.Access.s_ready_at - (issue + p.promised.(k)) in
+      if s > 0 then begin
+        stall := !stall + s;
+        Stats.count_stall stats kind ~cycles:s;
+        if kind = Access.Remote_hit then
+          Stats.count_stall_factor_mask stats p.factor_masks.(k)
+      end
+    end
+  in
+  (* The driver loop, instantiated once per backend arm with a
+     monomorphic [access_part k ~now ~addr] writing into [out]. *)
+  let drive access_part =
+    for iter = 0 to trip - 1 do
+      for k = 0 to n - 1 do
+        let issue = (iter * ii) + p.starts.(k) + !stall in
+        let base = addr_of ~op:p.ops.(k) ~iter in
+        access_part k ~now:issue ~addr:base;
+        slowest.Access.s_kind <- out.Access.s_kind;
+        slowest.Access.s_ready_at <- out.Access.s_ready_at;
+        for q = 1 to p.parts.(k) - 1 do
+          access_part k ~now:issue ~addr:(base + (q * i_factor));
+          if out.Access.s_ready_at >= slowest.Access.s_ready_at then begin
+            slowest.Access.s_kind <- out.Access.s_kind;
+            slowest.Access.s_ready_at <- out.Access.s_ready_at
+          end
+        done;
+        finish k issue
+      done
+    done
+  in
+  (match Machine.state machine with
+  | Machine.Interleaved_state ic ->
+      drive (fun k ~now ~addr ->
+          Arch.Interleaved_cache.access_into ic out ~attract:p.attracts.(k)
+            ~now ~cluster:p.clusters.(k) ~addr ~store:p.stores.(k))
+  | Machine.Unified_state uc ->
+      drive (fun _ ~now ~addr -> Arch.Unified_cache.access_into uc out ~now ~addr)
+  | Machine.Coherent_state cc ->
+      drive (fun k ~now ~addr ->
+          Arch.Coherent_cache.access_into cc out ~now
+            ~cluster:p.clusters.(k) ~addr ~store:p.stores.(k)));
+  Stats.add_compute stats
+    ((trip + Schedule.stage_count sched - 1) * ii);
+  Machine.end_of_loop machine;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* The straightforward list-based executor the kernel above replaced,
+   kept as the executable specification: the golden-equivalence suite
+   asserts the plan kernel produces bit-identical statistics on every
+   backend.  Not used by any experiment driver. *)
+
+let run_loop_reference cfg machine (c : Pipeline.compiled) ~addr_of
+    ?attractable ?(unclear_threshold = default_unclear_threshold) () =
   let ddg = c.Pipeline.loop.Loop.ddg in
   let sched = c.Pipeline.schedule in
   let trip = c.Pipeline.loop.Loop.trip_count in
   let ii = sched.Schedule.ii in
-  let mem_ops =
-    Ddg.memory_ops ddg
-    |> List.sort (fun a b ->
-           compare sched.Schedule.start.(a) sched.Schedule.start.(b))
-  in
+  let mem_ops = mem_ops_in_issue_order c in
   let factors_of =
     let cache = Hashtbl.create 16 in
     fun op ->
@@ -68,10 +213,6 @@ let run_loop cfg machine (c : Pipeline.compiled) ~addr_of ?attractable
         let attract =
           match attractable with None -> true | Some flags -> flags.(op)
         in
-        (* Elements wider than the interleaving factor span several
-           clusters: the access completes when its slowest part does and
-           is classified by that part (so a double-word access can never
-           be a plain local hit — Section 5.2). *)
         let i_factor = cfg.Config.interleaving_factor in
         let granularity =
           match o.Operation.mem with

@@ -30,4 +30,26 @@ val run_loop :
 (** Execute every iteration of the compiled (already unrolled) loop,
     then signal end-of-loop to the memory system (attraction-buffer
     flush).  [addr_of] maps an operation of the *unrolled* DDG and an
-    unrolled-iteration index to a byte address. *)
+    unrolled-iteration index to a byte address.
+
+    Implementation: an access-plan kernel.  Per-operation facts (start
+    cycle, cluster, parts, store/attract flags, promised latency,
+    Figure-5 factor mask) are precomputed into flat arrays, the backend
+    dispatch is hoisted out of the loop into one specialized inner loop
+    per {!Machine.state} arm, and access results travel through mutable
+    scratch slots — the steady-state loop performs no heap
+    allocation. *)
+
+val run_loop_reference :
+  Vliw_arch.Config.t ->
+  Machine.t ->
+  Vliw_core.Pipeline.compiled ->
+  addr_of:(op:int -> iter:int -> int) ->
+  ?attractable:bool array ->
+  ?unclear_threshold:float ->
+  unit ->
+  Stats.t
+(** The straightforward list-based executor {!run_loop}'s kernel
+    replaced, kept as the executable specification: the golden
+    equivalence suite asserts both produce bit-identical {!Stats.t} on
+    every backend.  Not used by the experiment drivers. *)

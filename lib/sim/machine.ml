@@ -33,6 +33,7 @@ let create cfg = function
       { arch; state = Coherent_state (Arch.Coherent_cache.create cfg) }
 
 let arch t = t.arch
+let state t = t.state
 
 let access t ?(attract = true) ~now ~cluster ~addr ~store () =
   match t.state with

@@ -8,10 +8,19 @@ type arch =
 
 val arch_to_string : arch -> string
 
+(** The concrete backend state, exposed so the executor can hoist the
+    backend dispatch out of its simulation loop and run an inner loop
+    specialized per memory-system implementation. *)
+type state =
+  | Interleaved_state of Vliw_arch.Interleaved_cache.t
+  | Unified_state of Vliw_arch.Unified_cache.t
+  | Coherent_state of Vliw_arch.Coherent_cache.t
+
 type t
 
 val create : Vliw_arch.Config.t -> arch -> t
 val arch : t -> arch
+val state : t -> state
 
 val access :
   t ->

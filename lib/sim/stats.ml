@@ -59,6 +59,14 @@ let count_stall t k ~cycles =
 let count_stall_factor t f =
   t.factors.(factor_index f) <- t.factors.(factor_index f) +. 1.0
 
+let factor_mask fs =
+  List.fold_left (fun m f -> m lor (1 lsl factor_index f)) 0 fs
+
+let count_stall_factor_mask t m =
+  for i = 0 to 3 do
+    if m land (1 lsl i) <> 0 then t.factors.(i) <- t.factors.(i) +. 1.0
+  done
+
 let add_compute t c = t.compute <- t.compute +. float_of_int c
 
 let iround x = int_of_float (Float.round x)
@@ -73,6 +81,10 @@ let factor_count t f = iround t.factors.(factor_index f)
 let local_hit_ratio t =
   let total = Array.fold_left ( +. ) 0.0 t.accesses in
   if total = 0.0 then 0.0 else t.accesses.(kind_index Access.Local_hit) /. total
+
+let equal a b =
+  a.accesses = b.accesses && a.stall = b.stall && a.factors = b.factors
+  && a.compute = b.compute
 
 let accumulate ~into t =
   Array.iteri (fun i v -> into.accesses.(i) <- into.accesses.(i) +. v) t.accesses;

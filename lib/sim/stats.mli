@@ -22,6 +22,15 @@ val copy : t -> t
 val count_access : t -> Vliw_arch.Access.kind -> unit
 val count_stall : t -> Vliw_arch.Access.kind -> cycles:int -> unit
 val count_stall_factor : t -> factor -> unit
+
+val factor_mask : factor list -> int
+(** Pack a factor list into a bitmask for {!count_stall_factor_mask} —
+    lets the executor precompute each operation's factors once and count
+    them in its steady-state loop without touching a list. *)
+
+val count_stall_factor_mask : t -> int -> unit
+(** Count every factor present in the mask (allocation-free). *)
+
 val add_compute : t -> int -> unit
 
 val accesses : t -> Vliw_arch.Access.kind -> int
@@ -34,6 +43,11 @@ val factor_count : t -> factor -> int
 
 val local_hit_ratio : t -> float
 (** Local hits over all accesses. *)
+
+val equal : t -> t -> bool
+(** Exact (bit-level) equality of every counter — the golden-equivalence
+    criterion between the access-plan kernel and the reference
+    executor. *)
 
 val accumulate : into:t -> t -> unit
 (** Pointwise sum ([into] is mutated); used to aggregate loops into a

@@ -62,7 +62,54 @@ let address t (m : Mem_access.t) ~op ~iter =
   in
   base + off
 
-let addr_fn t ddg ~op ~iter =
-  match (Ddg.op ddg op).Operation.mem with
-  | Some m -> address t m ~op ~iter
-  | None -> invalid_arg "Layout.addr_fn: not a memory operation"
+(* The simulator and profiler call the address function once per
+   simulated access, so [addr_fn] is staged: applying it to a DDG
+   precomputes a flat per-operation address plan (symbol base, offset,
+   stride, footprint, indirect-walk seed), and the returned closure is
+   pure int arithmetic — no symbol hashing, no hashtable probe, no
+   allocation per access. *)
+let addr_fn t ddg =
+  let n = Ddg.n_ops ddg in
+  let is_mem = Array.make n false in
+  let base_off = Array.make n 0 in
+  (* base + offset for strided ops; bare base for indirect ops *)
+  let stride = Array.make n 0 in
+  let fp = Array.make n 1 in
+  let indirect = Array.make n false in
+  let islots = Array.make n 1 in  (* max 1 (footprint / granularity) *)
+  let gran = Array.make n 1 in
+  let ihash = Array.make n 0 in
+  let salt = run_salt t.run + t.seed in
+  Array.iter
+    (fun (o : Operation.t) ->
+      match o.Operation.mem with
+      | None -> ()
+      | Some m ->
+          let op = o.Operation.id in
+          let base = base_of t m in
+          let g = m.Mem_access.granularity in
+          let f =
+            if m.Mem_access.footprint > 0 then m.Mem_access.footprint
+            else space
+          in
+          is_mem.(op) <- true;
+          fp.(op) <- f;
+          gran.(op) <- g;
+          if m.Mem_access.indirect then begin
+            indirect.(op) <- true;
+            base_off.(op) <- base;
+            islots.(op) <- max 1 (f / g);
+            ihash.(op) <- string_hash m.Mem_access.symbol + op
+          end
+          else begin
+            base_off.(op) <- base + m.Mem_access.offset;
+            stride.(op) <- m.Mem_access.stride
+          end)
+    (Ddg.ops ddg);
+  fun ~op ~iter ->
+    if not is_mem.(op) then
+      invalid_arg "Layout.addr_fn: not a memory operation"
+    else if indirect.(op) then
+      let h = Prng.hash2 ihash.(op) (iter + salt) in
+      base_off.(op) + (h mod islots.(op) * gran.(op))
+    else base_off.(op) + ((iter * stride.(op)) mod fp.(op))

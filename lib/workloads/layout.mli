@@ -33,5 +33,8 @@ val address : t -> Vliw_ir.Mem_access.t -> op:int -> iter:int -> int
 
 val addr_fn :
   t -> Vliw_ir.Ddg.t -> op:int -> iter:int -> int
-(** The simulator-facing closure over a whole DDG.
+(** The simulator-facing closure over a whole DDG.  Staged: apply it to
+    the layout and DDG *once* — that application precomputes a flat
+    per-operation address plan, and the resulting closure is pure int
+    arithmetic (no symbol hashing or hashtable probes per access).
     @raise Invalid_argument if [op] is not a memory operation. *)

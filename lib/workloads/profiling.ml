@@ -7,6 +7,10 @@ module Profile = Vliw_core.Profile
 
 let iteration_cap = 4096
 
+(* Like the executor, the profiler walks trip_count x mem-ops accesses,
+   so its inner loop runs on flat per-op arrays and the staged
+   [Layout.addr_fn] plan — no per-access closure, [Ddg.op] lookup or
+   symbol hashing. *)
 let profile_loop (cfg : Config.t) layout (loop : Loop.t) =
   let ddg = loop.Loop.ddg in
   let n = Ddg.n_ops ddg in
@@ -21,34 +25,35 @@ let profile_loop (cfg : Config.t) layout (loop : Loop.t) =
   let counts = Array.make n 0 in
   let clusters = Array.make_matrix n cfg.Config.n_clusters 0 in
   let iters = min loop.Loop.trip_count iteration_cap in
+  let i_factor = cfg.Config.interleaving_factor in
+  let ops = Array.of_list mem_ops in
+  let nm = Array.length ops in
+  let parts = Array.make nm 1 in
+  Array.iteri
+    (fun k op ->
+      let granularity =
+        match (Ddg.op ddg op).Operation.mem with
+        | Some m -> m.Vliw_ir.Mem_access.granularity
+        | None -> i_factor
+      in
+      parts.(k) <- max 1 ((granularity + i_factor - 1) / i_factor))
+    ops;
+  let addr_of = Layout.addr_fn layout ddg in
   for iter = 0 to iters - 1 do
-    List.iter
-      (fun op ->
-        let addr = Layout.addr_fn layout ddg ~op ~iter in
-        let o = Ddg.op ddg op in
-        let granularity =
-          match o.Operation.mem with
-          | Some m -> m.Vliw_ir.Mem_access.granularity
-          | None -> cfg.Config.interleaving_factor
-        in
-        let parts =
-          max 1
-            ((granularity + cfg.Config.interleaving_factor - 1)
-            / cfg.Config.interleaving_factor)
-        in
-        let block = Config.block_of_addr cfg addr in
-        if Set_assoc.lookup tags block then hits.(op) <- hits.(op) + 1
-        else ignore (Set_assoc.insert tags block);
-        for p = 1 to parts - 1 do
-          let bp =
-            Config.block_of_addr cfg (addr + (p * cfg.Config.interleaving_factor))
-          in
-          if not (Set_assoc.lookup tags bp) then ignore (Set_assoc.insert tags bp)
-        done;
-        counts.(op) <- counts.(op) + 1;
-        let c = Config.cluster_of_addr cfg addr in
-        clusters.(op).(c) <- clusters.(op).(c) + 1)
-      mem_ops
+    for k = 0 to nm - 1 do
+      let op = ops.(k) in
+      let addr = addr_of ~op ~iter in
+      let block = Config.block_of_addr cfg addr in
+      if Set_assoc.lookup tags block then hits.(op) <- hits.(op) + 1
+      else ignore (Set_assoc.insert tags block);
+      for p = 1 to parts.(k) - 1 do
+        let bp = Config.block_of_addr cfg (addr + (p * i_factor)) in
+        if not (Set_assoc.lookup tags bp) then ignore (Set_assoc.insert tags bp)
+      done;
+      counts.(op) <- counts.(op) + 1;
+      let c = Config.cluster_of_addr cfg addr in
+      clusters.(op).(c) <- clusters.(op).(c) + 1
+    done
   done;
   let profile = Profile.empty ~n_ops:n in
   List.iter

@@ -110,6 +110,44 @@ let test_memo_single_flight () =
             true (cs == first))
         rest
 
+let test_memo_contention_raw_domains () =
+  (* Hammer the sharded memo with raw domains — the pool clamps its
+     worker count to the hardware's parallelism, so on a 1-core host it
+     would serialize and never actually contend.  Domain.spawn bypasses
+     the clamp: 4 domains on the same key must share one compilation
+     (single-flight per shard), and 4 domains on disjoint keys must each
+     land its own entry that a later lookup hits physically. *)
+  let ctx = Context.create () in
+  let spec = Context.interleaved `Ipbc in
+  (* Same key from every domain. *)
+  let same =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Context.compiled ctx (bench "gsmdec") spec))
+    |> List.map Domain.join
+  in
+  (match same with
+  | first :: rest ->
+      List.iteri
+        (fun i cs ->
+          check cb
+            (Printf.sprintf "same-key domain %d shares the compilation" (i + 1))
+            true (cs == first))
+        rest
+  | [] -> Alcotest.fail "no results");
+  (* Disjoint keys concurrently: every key compiles once and is cached. *)
+  let names = [ "epicdec"; "jpegenc"; "pgpdec"; "rasta" ] in
+  let disjoint =
+    List.map
+      (fun n -> Domain.spawn (fun () -> Context.compiled ctx (bench n) spec))
+      names
+    |> List.map Domain.join
+  in
+  List.iter2
+    (fun n cs ->
+      check cb (n ^ " re-fetch hits the entry the domain installed") true
+        (Context.compiled ctx (bench n) spec == cs))
+    names disjoint
+
 (* --------------------------------------------------- determinism *)
 
 let with_default_jobs jobs f =
@@ -161,6 +199,8 @@ let suite =
      test_cache_key_includes_fingerprint);
     ("context: memo is single-flight under contention", `Slow,
      test_memo_single_flight);
+    ("context: sharded memo holds under raw-domain contention", `Slow,
+     test_memo_contention_raw_domains);
     ("determinism: schedules equal at jobs=1 and jobs=4", `Slow,
      test_schedules_deterministic_across_jobs);
     ("determinism: fig4 byte-identical at jobs=1 and jobs=4", `Slow,

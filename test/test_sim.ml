@@ -223,6 +223,83 @@ let test_executor_factor_classification () =
   check ci "unclear not flagged" 0
     (Stats.factor_count s Stats.Unclear_preferred)
 
+(* ------------------------------------------- golden equivalence suite *)
+
+(* The access-plan kernel (run_loop) against the list-based executable
+   specification (run_loop_reference): bit-identical Stats and traffic
+   counters on real benchmarks, across every memory-system backend, with
+   and without attraction hints. *)
+
+module WL = Vliw_workloads
+
+let golden_archs =
+  [
+    ( "interleaved+AB",
+      Machine.Word_interleaved { attraction_buffers = true },
+      Pipeline.Interleaved { heuristic = `Ipbc; chains = true } );
+    ( "interleaved-AB",
+      Machine.Word_interleaved { attraction_buffers = false },
+      Pipeline.Interleaved { heuristic = `Ipbc; chains = true } );
+    ( "unified/L5",
+      Machine.Unified { slow = true },
+      Pipeline.Unified { slow = true } );
+    ("multiVLIW", Machine.Multivliw, Pipeline.Multivliw);
+  ]
+
+let test_kernel_matches_reference () =
+  let traffic = Alcotest.(list (pair string int)) in
+  let layout =
+    WL.Layout.create cfg ~aligned:true ~run:WL.Layout.Profile_run ~seed:7
+  in
+  let profiler = WL.Profiling.profiler cfg layout in
+  let exec_layout =
+    WL.Layout.create cfg ~aligned:true ~run:WL.Layout.Execution_run ~seed:7
+  in
+  List.iter
+    (fun bname ->
+      let b = WL.Mediabench.find bname in
+      List.iter
+        (fun (aname, arch, target) ->
+          List.iter
+            (fun loop ->
+              let c =
+                Pipeline.compile cfg ~target
+                  ~strategy:Vliw_core.Unroll_select.Selective ~profiler loop
+              in
+              let addr_of =
+                WL.Layout.addr_fn exec_layout c.Pipeline.loop.Loop.ddg
+              in
+              let attractable =
+                match arch with
+                | Machine.Word_interleaved { attraction_buffers = true } ->
+                    Some
+                      (Vliw_core.Hints.attractable cfg c.Pipeline.loop.Loop.ddg
+                         ~profile:c.Pipeline.profile
+                         ~schedule:c.Pipeline.schedule ())
+                | _ -> None
+              in
+              let tag =
+                Printf.sprintf "%s/%s/%s" bname aname loop.Loop.name
+              in
+              let m_new = Machine.create cfg arch in
+              let m_ref = Machine.create cfg arch in
+              let s_new =
+                Executor.run_loop cfg m_new c ~addr_of ?attractable ()
+              in
+              let s_ref =
+                Executor.run_loop_reference cfg m_ref c ~addr_of ?attractable
+                  ()
+              in
+              check cb (tag ^ ": stats bit-identical") true
+                (Stats.equal s_new s_ref);
+              check traffic
+                (tag ^ ": traffic counters identical")
+                (Machine.traffic_summary m_ref)
+                (Machine.traffic_summary m_new))
+            (WL.Benchspec.loops b))
+        golden_archs)
+    [ "gsmdec"; "epicdec"; "mpeg2dec" ]
+
 let suite =
   [
     ("stats: counters", `Quick, test_stats_counts);
@@ -237,4 +314,6 @@ let suite =
     ("executor: wide accesses partly remote", `Quick, test_executor_wide_access);
     ("executor: stores never stall", `Quick, test_executor_store_never_stalls);
     ("executor: figure-5 factor flags", `Quick, test_executor_factor_classification);
+    ("executor: kernel matches reference on all backends", `Slow,
+     test_kernel_matches_reference);
   ]
