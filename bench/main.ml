@@ -61,6 +61,22 @@ let timed_fig4 ~jobs =
       Format.pp_print_flush bppf ();
       (Unix.gettimeofday () -. t0, Buffer.contents buf))
 
+(* The full static-analysis sweep (all benchmarks x backends x
+   heuristics), sequential so the number tracks single-core analyzer
+   cost, not pool scaling. *)
+let timed_analyze () =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 1;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      let bppf = Format.formatter_of_buffer buf in
+      let t0 = Unix.gettimeofday () in
+      let summary = Vliw_analysis.Analyze.run_all bppf in
+      Format.pp_print_flush bppf ();
+      (Unix.gettimeofday () -. t0, summary))
+
 let write_bench_json ~estimates =
   let n = max 2 (Pool.default_jobs ()) in
   let effective = Pool.effective_jobs n in
@@ -75,6 +91,7 @@ let write_bench_json ~estimates =
   in
   let identical = String.equal seq_out par_out in
   let speedup = if par_s > 0.0 then seq_s /. par_s else 1.0 in
+  let analyze_s, analyze_summary = timed_analyze () in
   let path = "BENCH_compile.json" in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
@@ -96,6 +113,11 @@ let write_bench_json ~estimates =
   p "    \"degenerate\": %b,\n" degenerate;
   p "    \"speedup\": %.3f,\n" speedup;
   p "    \"identical\": %b\n" identical;
+  p "  },\n";
+  p "  \"analyze\": {\n";
+  p "    \"wall_s\": %.3f,\n" analyze_s;
+  p "    \"errors\": %d,\n" analyze_summary.Vliw_analysis.Analyze.errors;
+  p "    \"warnings\": %d\n" analyze_summary.Vliw_analysis.Analyze.warnings;
   p "  }\n";
   p "}\n";
   close_out oc;
@@ -115,6 +137,11 @@ let write_bench_json ~estimates =
       "*** WARNING: parallel fig4 is SLOWER than sequential (speedup \
        %.2fx < 1.0) — the domain pool is hurting on this host ***@."
       speedup;
+  Format.fprintf ppf
+    "analyze wall-clock: %.2fs sequential for the whole suite (%d errors, \
+     %d warnings)@."
+    analyze_s analyze_summary.Vliw_analysis.Analyze.errors
+    analyze_summary.Vliw_analysis.Analyze.warnings;
   Format.fprintf ppf "wrote %s@.@." path;
   if not identical then begin
     Format.fprintf ppf "ERROR: parallel fig4 output diverged from sequential@.";

@@ -54,6 +54,17 @@ let jobs_arg =
 
 let apply_jobs jobs = if jobs >= 1 then Pool.set_default_jobs jobs
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Run the static analyzer (DDG linter + deep schedule verifier) \
+           on every compiled loop; abort with the diagnostic report if any \
+           invariant is violated.")
+
+let apply_check check = if check then Vliw_analysis.Analyze.install_check_hook ()
+
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures." in
   let names =
@@ -74,8 +85,9 @@ let experiment_cmd =
           []
       & info [] ~docv:"EXPERIMENT")
   in
-  let run jobs names =
+  let run jobs check names =
     apply_jobs jobs;
+    apply_check check;
     let ctx = E.Context.create () in
     List.iter
       (function
@@ -96,7 +108,8 @@ let experiment_cmd =
         | `Csv -> E.Csv_export.run ppf ctx)
       names
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ jobs_arg $ names)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ jobs_arg $ check_arg $ names)
 
 (* ------------------------------------------------------ shared options *)
 
@@ -143,7 +156,8 @@ let compile_cmd =
       & info [ "dump" ]
           ~doc:"Also print each loop's modulo-scheduled kernel table.")
   in
-  let run name heuristic strategy dump =
+  let run name heuristic strategy dump check =
+    apply_check check;
     match find_bench name with
     | Error e -> prerr_endline e; exit 2
     | Ok bench ->
@@ -171,7 +185,9 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc)
-    Term.(const run $ bench_arg $ heuristic_arg $ strategy_arg $ dump_arg)
+    Term.(
+      const run $ bench_arg $ heuristic_arg $ strategy_arg $ dump_arg
+      $ check_arg)
 
 (* ----------------------------------------------------------------- run *)
 
@@ -195,7 +211,8 @@ let arch_arg =
 
 let run_cmd =
   let doc = "Simulate a benchmark and print its execution statistics." in
-  let run name heuristic strategy arch =
+  let run name heuristic strategy arch check =
+    apply_check check;
     match find_bench name with
     | Error e -> prerr_endline e; exit 2
     | Ok bench ->
@@ -218,7 +235,51 @@ let run_cmd =
           Stats.pp stats (Stats.local_hit_ratio stats)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ bench_arg $ heuristic_arg $ strategy_arg $ arch_arg)
+    Term.(
+      const run $ bench_arg $ heuristic_arg $ strategy_arg $ arch_arg
+      $ check_arg)
+
+(* ------------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let doc =
+    "Run every static-analysis pass — config validator, DDG linter, deep \
+     schedule verifier, address-plan cross-check and sim-invariant \
+     auditor — over the whole suite (all backends, both heuristics). \
+     Exits non-zero if any invariant is violated."
+  in
+  let benches_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmarks to analyze (default: the whole suite).")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Also print info-severity diagnostics.")
+  in
+  let run jobs verbose names =
+    apply_jobs jobs;
+    let names = if names = [] then None else Some names in
+    (match names with
+    | None -> ()
+    | Some ns -> (
+        match List.filter (fun n -> Result.is_error (find_bench n)) ns with
+        | [] -> ()
+        | bad :: _ ->
+            (match find_bench bad with
+            | Error e -> prerr_endline e
+            | Ok _ -> ());
+            exit 2));
+    let summary =
+      Vliw_analysis.Analyze.run_all ?benchmarks:names ~verbose ppf
+    in
+    if not (Vliw_analysis.Analyze.ok summary) then exit 1
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ jobs_arg $ verbose_arg $ benches_arg)
 
 (* ----------------------------------------------------------------- dot *)
 
@@ -268,5 +329,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; config_cmd; experiment_cmd; compile_cmd; run_cmd;
-            dot_cmd;
+            analyze_cmd; dot_cmd;
           ]))

@@ -22,6 +22,8 @@ type compiled = {
 
 exception Scheduling_failed of string
 
+let check_hook : (Config.t -> compiled -> unit) ref = ref (fun _ _ -> ())
+
 let mode_of_target (cfg : Config.t) = function
   | Interleaved _ -> Latency_assign.Four_level
   | Unified { slow } ->
@@ -120,7 +122,11 @@ let compile cfg ~target ~strategy ~profiler source =
   | first :: rest ->
       (* Candidates come in ascending factor order; on an exact Texec tie
          the larger factor wins — its locality is free. *)
-      List.fold_left
-        (fun best c ->
-          if c.estimated_cycles <= best.estimated_cycles then c else best)
-        first rest
+      let best =
+        List.fold_left
+          (fun best c ->
+            if c.estimated_cycles <= best.estimated_cycles then c else best)
+          first rest
+      in
+      !check_hook cfg best;
+      best

@@ -30,6 +30,13 @@ type compiled = {
 
 exception Scheduling_failed of string
 
+val check_hook : (Vliw_arch.Config.t -> compiled -> unit) ref
+(** Debug hook invoked on every {!compile} result before it is returned
+    (default: no-op).  [Vliw_analysis.Analyze.install_check_hook] points
+    it at the linter + deep schedule verifier — the CLI's [--check]
+    flag.  The installed function must be thread-safe: compiles run
+    concurrently on the experiment engine's worker domains. *)
+
 val mode_of_target : Vliw_arch.Config.t -> target -> Latency_assign.mode
 
 val allow_cross_cluster_mem : target -> bool

@@ -1,0 +1,455 @@
+(* Mutation tests for the static-analysis layer: every deliberate
+   corruption of a DDG, schedule, config, statistics record or traffic
+   summary must be flagged under its expected pass id, and the pristine
+   artefacts must come back clean.  The DDG corruptions are applied to
+   every benchmark of the suite, so the linter is exercised against each
+   real graph shape, not one synthetic example. *)
+
+open Vliw_ir
+module A = Vliw_analysis
+module D = Vliw_analysis.Diagnostic
+module Config = Vliw_arch.Config
+module Engine = Vliw_sched.Engine
+module Schedule = Vliw_sched.Schedule
+module Machine = Vliw_sim.Machine
+module Stats = Vliw_sim.Stats
+module WL = Vliw_workloads
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cfg = Config.default
+
+let has severity pass diags =
+  List.exists (fun d -> d.D.pass = pass && d.D.severity = severity) diags
+
+let assert_flagged what severity pass diags =
+  if not (has severity pass diags) then
+    Alcotest.failf "%s: expected a %s diagnostic from %s, got:@.%a" what
+      (match severity with
+      | D.Error -> "error"
+      | D.Warn -> "warning"
+      | D.Info -> "info")
+      pass
+      (Fmt.list ~sep:Fmt.cut D.pp)
+      diags
+
+let assert_clean what diags =
+  if D.n_errors diags > 0 || D.n_warnings diags > 0 then
+    Alcotest.failf "%s: expected a clean report, got:@.%a" what
+      (Fmt.list ~sep:Fmt.cut D.pp)
+      diags
+
+(* --------------------------------------------------- DDG corruptions *)
+
+(* Each mutation takes a pristine (ops, edges) pair and returns the
+   corrupted pair; the linter must flag it with the given pass id. *)
+let edge ?(kind = Edge.Reg_flow) ?(distance = 0) src dst =
+  { Edge.src; dst; kind; distance }
+
+let first_mem_op ops =
+  let n = Array.length ops in
+  let rec find i =
+    if i >= n then None
+    else if Operation.is_memory ops.(i) then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let ddg_mutations =
+  [
+    ( "dangling endpoint", D.Error, "ddg/endpoint",
+      fun ops edges -> (ops, edge (Array.length ops + 3) 0 :: edges) );
+    ( "negative distance", D.Error, "ddg/negative-distance",
+      fun ops edges ->
+        ( ops,
+          match edges with
+          | e -> { (List.hd e) with Edge.distance = -1 } :: List.tl e ) );
+    ( "absurd distance", D.Warn, "ddg/absurd-distance",
+      fun ops edges ->
+        (ops, { (List.hd edges) with Edge.distance = 1000 } :: List.tl edges)
+    );
+    ( "zero-distance self edge", D.Error, "ddg/self-zero",
+      fun ops edges -> (ops, edge 0 0 :: edges) );
+    ( "duplicate edge", D.Error, "ddg/duplicate-edge",
+      fun ops edges -> (ops, List.hd edges :: edges) );
+    ( "redundant parallel edge", D.Warn, "ddg/redundant-edge",
+      fun ops edges ->
+        let e = List.hd edges in
+        (ops, { e with Edge.distance = e.Edge.distance + 1 } :: edges) );
+    ( "copy opcode in source graph", D.Error, "ddg/copy-opcode",
+      fun ops edges ->
+        let n = Array.length ops in
+        let copy =
+          {
+            Operation.id = n;
+            opcode = Opcode.Copy;
+            dests = [ 0 ];
+            srcs = [];
+            mem = None;
+          }
+        in
+        (Array.append ops [| copy |], edge 0 n :: edges) );
+    ( "stripped memory descriptor", D.Error, "ddg/mem-descriptor",
+      fun ops edges ->
+        (match first_mem_op ops with
+        | Some i -> ops.(i) <- { (ops.(i)) with Operation.mem = None }
+        | None -> Alcotest.fail "benchmark loop without memory ops");
+        (ops, edges) );
+    ( "granularity 3", D.Error, "ddg/mem-descriptor",
+      fun ops edges ->
+        (match first_mem_op ops with
+        | Some i ->
+            let m = Option.get ops.(i).Operation.mem in
+            ops.(i) <-
+              {
+                (ops.(i)) with
+                Operation.mem = Some { m with Mem_access.granularity = 3 };
+              }
+        | None -> Alcotest.fail "benchmark loop without memory ops");
+        (ops, edges) );
+    ( "isolated operation", D.Warn, "ddg/unreachable",
+      fun ops edges ->
+        let n = Array.length ops in
+        let orphan =
+          {
+            Operation.id = n;
+            opcode = Opcode.Int_alu;
+            dests = [ 0 ];
+            srcs = [];
+            mem = None;
+          }
+        in
+        (Array.append ops [| orphan |], edges) );
+    ( "zero-distance positive cycle", D.Error, "ddg/zero-cycle",
+      fun ops edges ->
+        let n = Array.length ops in
+        let node id =
+          {
+            Operation.id;
+            opcode = Opcode.Int_alu;
+            dests = [ 0 ];
+            srcs = [];
+            mem = None;
+          }
+        in
+        ( Array.append ops [| node n; node (n + 1) |],
+          edge n (n + 1) :: edge (n + 1) n :: edges ) );
+    ( "non-dense operation ids", D.Error, "ddg/op-id",
+      fun ops edges ->
+        ops.(0) <- Operation.with_id ops.(0) (Array.length ops + 7);
+        (ops, edges) );
+  ]
+
+let test_ddg_mutations () =
+  List.iter
+    (fun (b : WL.Benchspec.t) ->
+      let loop = List.hd (WL.Benchspec.loops b) in
+      let ddg = loop.Loop.ddg in
+      assert_clean
+        (Printf.sprintf "%s pristine" b.WL.Benchspec.name)
+        (A.Lint_ddg.lint ddg);
+      List.iter
+        (fun (what, severity, pass, mutate) ->
+          let ops, edges = mutate (Array.copy (Ddg.ops ddg)) (Ddg.edges ddg) in
+          assert_flagged
+            (Printf.sprintf "%s: %s" b.WL.Benchspec.name what)
+            severity pass
+            (A.Lint_ddg.lint_raw ops edges))
+        ddg_mutations)
+    WL.Mediabench.all
+
+let test_independent_recmii () =
+  List.iter
+    (fun (b : WL.Benchspec.t) ->
+      List.iter
+        (fun (loop : Loop.t) ->
+          let g = loop.Loop.ddg in
+          let latency = Ddg.default_latency g in
+          check ci
+            (Printf.sprintf "%s/%s" b.WL.Benchspec.name loop.Loop.name)
+            (Mii.rec_mii g ~latency)
+            (A.Lint_ddg.independent_rec_mii g ~latency))
+        (WL.Benchspec.loops b))
+    WL.Mediabench.all
+
+(* ---------------------------------------------- schedule corruptions *)
+
+let mem ?(stride = 4) symbol = Mem_access.make ~symbol ~stride ~granularity:4 ()
+
+(* load(c0) -> add(c1) -> store(c1): the forced split makes the engine
+   insert a copy for the load's value. *)
+let cross_cluster_case () =
+  let b = Builder.create () in
+  let l = Builder.add b ~dests:[ 0 ] ~mem:(mem "x") Opcode.Load in
+  let c = Builder.add b ~dests:[ 1 ] ~srcs:[ 0 ] Opcode.Int_alu in
+  let s = Builder.add b ~srcs:[ 1 ] ~mem:(mem "y") Opcode.Store in
+  Builder.flow b l c;
+  Builder.flow b c s;
+  let g = Builder.build b in
+  let hooks =
+    {
+      Engine.reset = (fun () -> ());
+      choice = (fun op -> Engine.Forced (if op = 0 then 0 else 1));
+      on_scheduled = (fun ~op:_ ~cluster:_ -> ());
+    }
+  in
+  match Engine.schedule cfg g ~latency:(Ddg.default_latency g) ~hooks () with
+  | None -> Alcotest.fail "cross-cluster case did not schedule"
+  | Some sched ->
+      check cb "engine inserted a copy" true (Schedule.n_copies sched > 0);
+      (g, sched)
+
+let clone (s : Schedule.t) =
+  {
+    s with
+    Schedule.cluster = Array.copy s.Schedule.cluster;
+    start = Array.copy s.Schedule.start;
+  }
+
+let verify g sched =
+  A.Verify_schedule.verify cfg g ~latency:(Ddg.default_latency g) sched
+
+let test_schedule_mutations () =
+  let g, sched = cross_cluster_case () in
+  assert_clean "pristine cross-cluster schedule" (verify g sched);
+  let copy0 = List.hd sched.Schedule.copies in
+  (* Dropping every copy starves the cross-cluster consumer. *)
+  assert_flagged "dropped copies" D.Error "sched/copy-coverage"
+    (verify g { (clone sched) with Schedule.copies = [] });
+  (* A copy issued before its producer's value exists. *)
+  assert_flagged "premature copy" D.Error "sched/copy-early"
+    (verify g
+       {
+         (clone sched) with
+         Schedule.copies =
+           List.map
+             (fun (cp : Schedule.copy) ->
+               { cp with Schedule.start = sched.Schedule.start.(0) })
+             sched.Schedule.copies;
+       });
+  (* A copy departing from a cluster that does not hold the value. *)
+  assert_flagged "copy from wrong cluster" D.Error "sched/copy-cluster"
+    (verify g
+       {
+         (clone sched) with
+         Schedule.copies =
+           List.map
+             (fun cp ->
+               { cp with Schedule.from_cluster = cp.Schedule.to_cluster })
+             sched.Schedule.copies;
+       });
+  (* A copy nobody reads. *)
+  assert_flagged "orphan copy" D.Warn "sched/orphan-copy"
+    (verify g
+       {
+         (clone sched) with
+         Schedule.copies =
+           { copy0 with Schedule.to_cluster = 2 } :: sched.Schedule.copies;
+       });
+  (* More simultaneous copies than the half-frequency buses can carry. *)
+  assert_flagged "bus oversubscription" D.Error "sched/bus-capacity"
+    (verify g
+       {
+         (clone sched) with
+         Schedule.copies =
+           List.init (cfg.Config.n_reg_buses + 1) (fun _ -> copy0)
+           @ sched.Schedule.copies;
+       });
+  (* Negative start cycle. *)
+  let corrupt = clone sched in
+  corrupt.Schedule.start.(1) <- -1;
+  assert_flagged "negative start" D.Error "sched/range" (verify g corrupt);
+  (* Same-cluster dependence scheduled too tight. *)
+  let corrupt = clone sched in
+  corrupt.Schedule.start.(2) <- corrupt.Schedule.start.(1);
+  assert_flagged "dependence violation" D.Error "sched/dependence"
+    (verify g corrupt)
+
+let test_mem_colocation () =
+  (* load -> add -> store on one symbol with a loop-carried memory
+     dependence: the chain must stay on one cluster. *)
+  let b = Builder.create () in
+  let l = Builder.add b ~dests:[ 0 ] ~mem:(mem "x") Opcode.Load in
+  let c = Builder.add b ~dests:[ 1 ] ~srcs:[ 0 ] Opcode.Int_alu in
+  let s = Builder.add b ~srcs:[ 1 ] ~mem:(mem "x") Opcode.Store in
+  Builder.flow b l c;
+  Builder.flow b c s;
+  Builder.dep b ~kind:Edge.Mem_flow ~distance:1 s l;
+  let g = Builder.build b in
+  match Engine.schedule cfg g ~latency:(Ddg.default_latency g) () with
+  | None -> Alcotest.fail "memory chain did not schedule"
+  | Some sched ->
+      assert_clean "pristine chain schedule" (verify g sched);
+      let corrupt = clone sched in
+      corrupt.Schedule.cluster.(2) <-
+        (corrupt.Schedule.cluster.(2) + 1) mod cfg.Config.n_clusters;
+      assert_flagged "memory op moved off its chain" D.Error
+        "sched/mem-colocate" (verify g corrupt)
+
+let test_fu_capacity () =
+  (* Two independent loads forced onto cluster 0 (one memory unit), then
+     collapsed onto the same cycle. *)
+  let b = Builder.create () in
+  let l1 = Builder.add b ~dests:[ 0 ] ~mem:(mem "a") Opcode.Load in
+  let s1 = Builder.add b ~srcs:[ 0 ] ~mem:(mem "b") Opcode.Store in
+  let l2 = Builder.add b ~dests:[ 1 ] ~mem:(mem "c") Opcode.Load in
+  let s2 = Builder.add b ~srcs:[ 1 ] ~mem:(mem "d") Opcode.Store in
+  Builder.flow b l1 s1;
+  Builder.flow b l2 s2;
+  let g = Builder.build b in
+  let hooks =
+    {
+      Engine.reset = (fun () -> ());
+      choice = (fun _ -> Engine.Forced 0);
+      on_scheduled = (fun ~op:_ ~cluster:_ -> ());
+    }
+  in
+  match Engine.schedule cfg g ~latency:(Ddg.default_latency g) ~hooks () with
+  | None -> Alcotest.fail "two-stream case did not schedule"
+  | Some sched ->
+      assert_clean "pristine two-stream schedule" (verify g sched);
+      let corrupt = clone sched in
+      corrupt.Schedule.start.(2) <- corrupt.Schedule.start.(0);
+      assert_flagged "two loads on one memory unit" D.Error
+        "sched/fu-capacity" (verify g corrupt)
+
+(* ------------------------------------------------ config corruptions *)
+
+let test_config_mutations () =
+  assert_clean "pristine config" (A.Check_config.check cfg);
+  assert_flagged "interleaving does not divide the cache" D.Error
+    "config/geometry"
+    (A.Check_config.check { cfg with Config.interleaving_factor = 3 });
+  assert_flagged "AB set wider than the buffer" D.Error "config/geometry"
+    (A.Check_config.check
+       { cfg with Config.ab_entries = 2; Config.ab_associativity = 8 });
+  assert_flagged "non-ascending latency ladder" D.Error
+    "config/latency-ladder"
+    (A.Check_config.check { cfg with Config.lat_remote_hit = 0 });
+  assert_flagged "collapsed latency levels" D.Warn "config/latency-ladder"
+    (A.Check_config.check
+       { cfg with Config.lat_remote_hit = cfg.Config.lat_local_hit });
+  assert_flagged "zero clusters" D.Error "config/positive"
+    (A.Check_config.check { cfg with Config.n_clusters = 0 })
+
+(* -------------------------------------------- simulation corruptions *)
+
+let audit ?(arch = Machine.Word_interleaved { attraction_buffers = true })
+    ?(n_mem_ops = 2) ?(trip = 3) ?(ii = 2) ?(stage_count = 1) stats =
+  A.Audit_sim.audit_stats ~arch ~n_mem_ops ~trip ~ii ~stage_count stats
+
+let well_formed_stats ?(trip = 3) ?(n_mem_ops = 2) ?(ii = 2)
+    ?(stage_count = 1) () =
+  let stats = Stats.create () in
+  for _ = 1 to trip * n_mem_ops do
+    Stats.count_access stats Vliw_arch.Access.Local_hit
+  done;
+  Stats.add_compute stats ((trip + stage_count - 1) * ii);
+  stats
+
+let test_stats_mutations () =
+  assert_clean "pristine stats" (audit (well_formed_stats ()));
+  (* One access short of trip x mem-ops. *)
+  let stats = well_formed_stats ~n_mem_ops:1 () in
+  assert_flagged "dropped access" D.Error "sim/access-count"
+    (audit stats);
+  (* Compute cycles that cannot come from (trip + SC - 1) x II. *)
+  let stats = well_formed_stats () in
+  Stats.add_compute stats 1;
+  assert_flagged "compute drift" D.Error "sim/compute" (audit stats);
+  (* Stall time booked on a local hit. *)
+  let stats = well_formed_stats () in
+  Stats.count_stall stats Vliw_arch.Access.Local_hit ~cycles:3;
+  assert_flagged "local-hit stall" D.Error "sim/local-hit-stall"
+    (audit stats);
+  (* A remote hit on a unified cache. *)
+  let stats = well_formed_stats ~n_mem_ops:1 () in
+  for _ = 1 to 3 do
+    Stats.count_access stats Vliw_arch.Access.Remote_hit
+  done;
+  assert_flagged "remote hit on unified" D.Error "sim/class"
+    (audit ~arch:(Machine.Unified { slow = true }) stats);
+  (* A factor counted more often than remote hits occurred. *)
+  let stats = well_formed_stats ~n_mem_ops:1 () in
+  for _ = 1 to 3 do
+    Stats.count_access stats Vliw_arch.Access.Remote_hit
+  done;
+  for _ = 1 to 5 do
+    Stats.count_stall_factor stats Stats.Granularity
+  done;
+  assert_flagged "overcounted factor" D.Error "sim/factor-bound"
+    (audit stats)
+
+let test_traffic_mutations () =
+  let arch = Machine.Word_interleaved { attraction_buffers = true } in
+  let stats = Stats.create () in
+  Stats.count_access stats Vliw_arch.Access.Remote_hit;
+  Stats.count_access stats Vliw_arch.Access.Remote_hit;
+  let balanced =
+    [ ("remote words", 2); ("block fills", 0); ("attractions", 0) ]
+  in
+  assert_clean "balanced traffic"
+    (A.Audit_sim.audit_traffic ~arch ~stats ~traffic:balanced ());
+  assert_flagged "unknown counter" D.Error "sim/traffic-keys"
+    (A.Audit_sim.audit_traffic ~arch ~stats
+       ~traffic:(("bogus", 1) :: balanced) ());
+  assert_flagged "remote words out of balance" D.Error "sim/remote-balance"
+    (A.Audit_sim.audit_traffic ~arch ~stats
+       ~traffic:[ ("remote words", 5); ("block fills", 0); ("attractions", 0) ]
+       ());
+  assert_flagged "fills without misses" D.Error "sim/fill-balance"
+    (A.Audit_sim.audit_traffic ~arch ~stats
+       ~traffic:[ ("remote words", 2); ("block fills", 4); ("attractions", 0) ]
+       ());
+  assert_flagged "attractions with buffers off" D.Error
+    "sim/attraction-bound"
+    (A.Audit_sim.audit_traffic
+       ~arch:(Machine.Word_interleaved { attraction_buffers = false })
+       ~stats
+       ~traffic:[ ("remote words", 2); ("block fills", 0); ("attractions", 1) ]
+       ());
+  assert_flagged "unwatched bus transactions" D.Error "sim/snoop-balance"
+    (A.Audit_sim.audit_traffic ~arch:Machine.Multivliw ~stats
+       ~traffic:
+         [
+           ("invalidations", 0); ("cache-to-cache", 2); ("memory fills", 0);
+           ("snoops", 1);
+         ]
+       ())
+
+(* ------------------------------------------------- end-to-end driver *)
+
+let test_analyze_one_bench () =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let summary = A.Analyze.run_all ~benchmarks:[ "gsmdec" ] ppf in
+  Format.pp_print_flush ppf ();
+  check cb "no errors" true (A.Analyze.ok summary);
+  check ci "benchmarks" 1 summary.A.Analyze.benchmarks;
+  check ci "loop compiles" 16 summary.A.Analyze.loops;
+  check ci "simulation cells" 6 summary.A.Analyze.cells;
+  check cb "report mentions the verdict" true
+    (let s = Buffer.contents buf in
+     let needle = "all invariants hold" in
+     let nl = String.length needle in
+     let rec scan i =
+       i + nl <= String.length s
+       && (String.sub s i nl = needle || scan (i + 1))
+     in
+     scan 0)
+
+let suite =
+  [
+    Alcotest.test_case "ddg mutations x suite" `Quick test_ddg_mutations;
+    Alcotest.test_case "independent RecMII agrees" `Quick
+      test_independent_recmii;
+    Alcotest.test_case "schedule mutations" `Quick test_schedule_mutations;
+    Alcotest.test_case "memory co-location" `Quick test_mem_colocation;
+    Alcotest.test_case "FU capacity" `Quick test_fu_capacity;
+    Alcotest.test_case "config mutations" `Quick test_config_mutations;
+    Alcotest.test_case "stats mutations" `Quick test_stats_mutations;
+    Alcotest.test_case "traffic mutations" `Quick test_traffic_mutations;
+    Alcotest.test_case "analyze driver on one benchmark" `Quick
+      test_analyze_one_bench;
+  ]

@@ -12,6 +12,7 @@ let () =
       ("disambiguation", Test_disambiguation.suite);
       ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
+      ("analysis", Test_analysis.suite);
       ("figures", Test_figures.suite);
       ("properties", Test_props.suite);
     ]

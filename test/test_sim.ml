@@ -295,7 +295,37 @@ let test_kernel_matches_reference () =
               check traffic
                 (tag ^ ": traffic counters identical")
                 (Machine.traffic_summary m_ref)
-                (Machine.traffic_summary m_new))
+                (Machine.traffic_summary m_new);
+              (* Both executors' results must also satisfy the simulator
+                 conservation laws, not just agree with each other. *)
+              let ddg = c.Pipeline.loop.Loop.ddg in
+              let max_parts =
+                List.fold_left
+                  (fun acc op ->
+                    match (Ddg.op ddg op).Operation.mem with
+                    | None -> acc
+                    | Some m ->
+                        max acc
+                          ((m.Mem_access.granularity
+                            + cfg.Config.interleaving_factor - 1)
+                          / cfg.Config.interleaving_factor))
+                  1 (Ddg.memory_ops ddg)
+              in
+              let diags =
+                Vliw_analysis.Audit_sim.audit_stats ~arch
+                  ~n_mem_ops:(List.length (Ddg.memory_ops ddg))
+                  ~trip:c.Pipeline.loop.Loop.trip_count
+                  ~ii:c.Pipeline.schedule.Schedule.ii
+                  ~stage_count:(Schedule.stage_count c.Pipeline.schedule)
+                  ~where:tag s_ref
+                @ Vliw_analysis.Audit_sim.audit_traffic ~arch ~stats:s_ref
+                    ~traffic:(Machine.traffic_summary m_ref)
+                    ~max_parts ~where:tag ()
+              in
+              check ci
+                (tag ^ ": sim invariants hold")
+                0
+                (Vliw_analysis.Diagnostic.n_errors diags))
             (WL.Benchspec.loops b))
         golden_archs)
     [ "gsmdec"; "epicdec"; "mpeg2dec" ]
