@@ -77,6 +77,21 @@ let timed_analyze () =
       Format.pp_print_flush bppf ();
       (Unix.gettimeofday () -. t0, summary))
 
+(* The explain sweep (attribution + locality abstract interpretation
+   over every compiled loop), sequential for the same reason. *)
+let timed_explain () =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 1;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      let bppf = Format.formatter_of_buffer buf in
+      let t0 = Unix.gettimeofday () in
+      let summary = Vliw_analysis.Explain.run_all bppf in
+      Format.pp_print_flush bppf ();
+      (Unix.gettimeofday () -. t0, summary))
+
 let write_bench_json ~estimates =
   let n = max 2 (Pool.default_jobs ()) in
   let effective = Pool.effective_jobs n in
@@ -92,6 +107,7 @@ let write_bench_json ~estimates =
   let identical = String.equal seq_out par_out in
   let speedup = if par_s > 0.0 then seq_s /. par_s else 1.0 in
   let analyze_s, analyze_summary = timed_analyze () in
+  let explain_s, explain_summary = timed_explain () in
   let path = "BENCH_compile.json" in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
@@ -118,6 +134,12 @@ let write_bench_json ~estimates =
   p "    \"wall_s\": %.3f,\n" analyze_s;
   p "    \"errors\": %d,\n" analyze_summary.Vliw_analysis.Analyze.errors;
   p "    \"warnings\": %d\n" analyze_summary.Vliw_analysis.Analyze.warnings;
+  p "  },\n";
+  p "  \"explain\": {\n";
+  p "    \"wall_s\": %.3f,\n" explain_s;
+  p "    \"loops\": %d,\n" explain_summary.Vliw_analysis.Explain.loops;
+  p "    \"gaps\": %d,\n" explain_summary.Vliw_analysis.Explain.gaps;
+  p "    \"lints\": %d\n" explain_summary.Vliw_analysis.Explain.lints;
   p "  }\n";
   p "}\n";
   close_out oc;
@@ -142,6 +164,20 @@ let write_bench_json ~estimates =
      %d warnings)@."
     analyze_s analyze_summary.Vliw_analysis.Analyze.errors
     analyze_summary.Vliw_analysis.Analyze.warnings;
+  Format.fprintf ppf
+    "explain wall-clock: %.2fs sequential for the whole suite (%d loops, \
+     %d II>MII, %d lints)@."
+    explain_s explain_summary.Vliw_analysis.Explain.loops
+    explain_summary.Vliw_analysis.Explain.gaps
+    explain_summary.Vliw_analysis.Explain.lints;
+  (* explain re-compiles everything analyze compiles but never
+     simulates, so it should stay in the same ballpark — far slower
+     means the abstract interpretation or the bound tower regressed. *)
+  if explain_s > (2.0 *. analyze_s) +. 1.0 then
+    Format.fprintf ppf
+      "*** WARNING: explain sweep (%.2fs) is far slower than the analyze \
+       sweep (%.2fs) — the static analyzers have regressed ***@."
+      explain_s analyze_s;
   Format.fprintf ppf "wrote %s@.@." path;
   if not identical then begin
     Format.fprintf ppf "ERROR: parallel fig4 output diverged from sequential@.";

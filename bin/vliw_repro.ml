@@ -241,18 +241,43 @@ let run_cmd =
 
 (* ------------------------------------------------------------- analyze *)
 
+let benches_arg ~what =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"BENCHMARK"
+        ~doc:
+          (Printf.sprintf "Benchmarks to %s (default: the whole suite)."
+             what))
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit one machine-readable JSON document instead of the \
+           human-readable report.")
+
+let validate_benches names =
+  let names = if names = [] then None else Some names in
+  (match names with
+  | None -> ()
+  | Some ns -> (
+      match List.filter (fun n -> Result.is_error (find_bench n)) ns with
+      | [] -> ()
+      | bad :: _ ->
+          (match find_bench bad with
+          | Error e -> prerr_endline e
+          | Ok _ -> ());
+          exit 2));
+  names
+
 let analyze_cmd =
   let doc =
     "Run every static-analysis pass — config validator, DDG linter, deep \
-     schedule verifier, address-plan cross-check and sim-invariant \
-     auditor — over the whole suite (all backends, both heuristics). \
-     Exits non-zero if any invariant is violated."
-  in
-  let benches_arg =
-    Arg.(
-      value & pos_all string []
-      & info [] ~docv:"BENCHMARK"
-          ~doc:"Benchmarks to analyze (default: the whole suite).")
+     schedule verifier, address-plan cross-check, sim-invariant auditor \
+     and the static-locality conservation law — over the whole suite \
+     (all backends, both heuristics). Exits non-zero if any invariant is \
+     violated."
   in
   let verbose_arg =
     Arg.(
@@ -260,26 +285,36 @@ let analyze_cmd =
       & info [ "verbose"; "v" ]
           ~doc:"Also print info-severity diagnostics.")
   in
-  let run jobs verbose names =
+  let run jobs verbose json names =
     apply_jobs jobs;
-    let names = if names = [] then None else Some names in
-    (match names with
-    | None -> ()
-    | Some ns -> (
-        match List.filter (fun n -> Result.is_error (find_bench n)) ns with
-        | [] -> ()
-        | bad :: _ ->
-            (match find_bench bad with
-            | Error e -> prerr_endline e
-            | Ok _ -> ());
-            exit 2));
+    let names = validate_benches names in
     let summary =
-      Vliw_analysis.Analyze.run_all ?benchmarks:names ~verbose ppf
+      Vliw_analysis.Analyze.run_all ?benchmarks:names ~verbose ~json ppf
     in
     if not (Vliw_analysis.Analyze.ok summary) then exit 1
   in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run $ jobs_arg $ verbose_arg $ benches_arg)
+    Term.(
+      const run $ jobs_arg $ verbose_arg $ json_arg
+      $ benches_arg ~what:"analyze")
+
+(* ------------------------------------------------------------- explain *)
+
+let explain_cmd =
+  let doc =
+    "Explain every compiled schedule: achieved II against recurrence / \
+     resource / copy / bus lower bounds with a ranked cycle-loss budget, \
+     provable cluster-locality verdicts from the congruence analysis, \
+     the unroll candidates weighed by the selective search, and \
+     missed-locality lints."
+  in
+  let run jobs json names =
+    apply_jobs jobs;
+    let names = validate_benches names in
+    ignore (Vliw_analysis.Explain.run_all ?benchmarks:names ~json ppf)
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ jobs_arg $ json_arg $ benches_arg ~what:"explain")
 
 (* ----------------------------------------------------------------- dot *)
 
@@ -329,5 +364,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; config_cmd; experiment_cmd; compile_cmd; run_cmd;
-            analyze_cmd; dot_cmd;
+            analyze_cmd; explain_cmd; dot_cmd;
           ]))

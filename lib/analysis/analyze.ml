@@ -92,8 +92,23 @@ let analyze_bench cfg ~seed (bench : WL.Benchspec.t) =
               ~strategy:Vliw_core.Unroll_select.Selective ~profiler loop)
           (WL.Benchspec.loops bench)
       in
+      (* Static locality bounds, per compiled loop: computed once here,
+         cross-checked against the dynamic stats of every interleaved
+         backend cell below. *)
+      let compiled =
+        List.map
+          (fun (c : Pipeline.compiled) ->
+            let bounds =
+              match target with
+              | Pipeline.Interleaved _ ->
+                  Some (Locality.analyze cfg exec_layout c)
+              | Pipeline.Unified _ | Pipeline.Multivliw -> None
+            in
+            (c, bounds))
+          compiled
+      in
       List.iter
-        (fun (c : Pipeline.compiled) ->
+        (fun ((c : Pipeline.compiled), bounds) ->
           incr loops;
           let where =
             Printf.sprintf "%s/%s[%s]" bench.WL.Benchspec.name
@@ -113,14 +128,19 @@ let analyze_bench cfg ~seed (bench : WL.Benchspec.t) =
                ~allow_cross_cluster_mem:
                  (Pipeline.allow_cross_cluster_mem target)
                ~where c.Pipeline.schedule);
-          emit (Audit_sim.audit_addr_plan exec_layout c.Pipeline.loop.Loop.ddg ~where ()))
+          emit (Audit_sim.audit_addr_plan exec_layout c.Pipeline.loop.Loop.ddg ~where ());
+          emit [ Attribution.summary_diag ~report:(Attribution.attribute cfg c) ~where ];
+          emit (Attribution.missed_locality cfg exec_layout ~where c);
+          Option.iter
+            (fun b -> emit [ Locality.summary_diag ~bounds:b ~where ])
+            bounds)
         compiled;
       (* Widest element of this target's access stream, in interleaving
          units — the traffic laws are exact only for single-part
          elements (see {!Audit_sim.audit_traffic}). *)
       let max_parts =
         List.fold_left
-          (fun acc (c : Pipeline.compiled) ->
+          (fun acc ((c : Pipeline.compiled), _) ->
             List.fold_left
               (fun acc op ->
                 match (Ddg.op c.Pipeline.loop.Loop.ddg op).Vliw_ir.Operation.mem
@@ -146,19 +166,28 @@ let analyze_bench cfg ~seed (bench : WL.Benchspec.t) =
           let machine = Machine.create cfg arch in
           let agg = Stats.create () in
           List.iter
-            (fun (c : Pipeline.compiled) ->
+            (fun ((c : Pipeline.compiled), bounds) ->
               let ddg = c.Pipeline.loop.Loop.ddg in
               let addr_of = WL.Layout.addr_fn exec_layout ddg in
               let stats = Executor.run_loop cfg machine c ~addr_of () in
+              let loop_where =
+                Printf.sprintf "%s/%s" where c.Pipeline.source.Loop.name
+              in
               emit
                 (Audit_sim.audit_stats ~arch
                    ~n_mem_ops:(List.length (Ddg.memory_ops ddg))
                    ~trip:c.Pipeline.loop.Loop.trip_count
                    ~ii:c.Pipeline.schedule.Schedule.ii
                    ~stage_count:(Schedule.stage_count c.Pipeline.schedule)
-                   ~where:
-                     (Printf.sprintf "%s/%s" where c.Pipeline.source.Loop.name)
-                   stats);
+                   ~where:loop_where stats);
+              (* The locality conservation law: the dynamic local/remote
+                 classification must stay inside the static bounds. *)
+              (match (arch, bounds) with
+              | Machine.Word_interleaved { attraction_buffers }, Some b ->
+                  emit
+                    (Locality.check_stats ~attraction_buffers ~bounds:b
+                       ~stats ~where:loop_where)
+              | _ -> ());
               Stats.accumulate ~into:agg stats)
             compiled;
           emit
@@ -174,8 +203,37 @@ let analyze_bench cfg ~seed (bench : WL.Benchspec.t) =
     diags = List.rev !diags;
   }
 
+let summary_json ?(extra = "") name (s : summary) =
+  Printf.sprintf
+    {|"%s":{"benchmarks":%d,"loops":%d,"cells":%d,"errors":%d,"warnings":%d,"infos":%d,"ok":%b%s}|}
+    name s.benchmarks s.loops s.cells s.errors s.warnings s.infos (ok s) extra
+
+let print_json ppf ~verbose ~config_diags ~results ~all_diags summary =
+  let diags =
+    List.filter (fun d -> verbose || d.D.severity <> D.Info) all_diags
+  in
+  Format.fprintf ppf "{@.  %s,@." (summary_json "summary" summary);
+  Format.fprintf ppf "  \"config_ok\": %b,@."
+    (not (D.has_errors config_diags));
+  Format.fprintf ppf "  \"benchmarks\": [@.";
+  List.iteri
+    (fun i r ->
+      Format.fprintf ppf
+        "    {\"name\":\"%s\",\"loops\":%d,\"cells\":%d,\"errors\":%d,\"warnings\":%d,\"infos\":%d}%s@."
+        (D.json_escape r.name) r.b_loops r.b_cells (D.n_errors r.diags)
+        (D.n_warnings r.diags) (D.n_infos r.diags)
+        (if i < List.length results - 1 then "," else ""))
+    results;
+  Format.fprintf ppf "  ],@.  \"diagnostics\": [@.";
+  List.iteri
+    (fun i d ->
+      Format.fprintf ppf "    %s%s@." (D.to_json d)
+        (if i < List.length diags - 1 then "," else ""))
+    diags;
+  Format.fprintf ppf "  ]@.}@."
+
 let run_all ?(cfg = Config.default) ?(seed = 7) ?benchmarks
-    ?(verbose = false) ppf =
+    ?(verbose = false) ?(json = false) ppf =
   let benches =
     match benchmarks with
     | None -> WL.Mediabench.all
@@ -188,6 +246,21 @@ let run_all ?(cfg = Config.default) ?(seed = 7) ?benchmarks
   let all_diags =
     config_diags @ List.concat_map (fun r -> r.diags) results
   in
+  if json then begin
+    let summary =
+      {
+        benchmarks = List.length results;
+        loops = List.fold_left (fun acc r -> acc + r.b_loops) 0 results;
+        cells = List.fold_left (fun acc r -> acc + r.b_cells) 0 results;
+        errors = D.n_errors all_diags;
+        warnings = D.n_warnings all_diags;
+        infos = D.n_infos all_diags;
+      }
+    in
+    print_json ppf ~verbose ~config_diags ~results ~all_diags summary;
+    summary
+  end
+  else begin
   Format.fprintf ppf "config: %s@."
     (if D.has_errors config_diags then "INVALID"
      else if config_diags = [] then "ok"
@@ -228,3 +301,4 @@ let run_all ?(cfg = Config.default) ?(seed = 7) ?benchmarks
       (D.by_pass (List.filter (fun d -> d.D.severity = D.Error) all_diags))
   end;
   summary
+  end

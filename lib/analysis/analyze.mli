@@ -31,12 +31,16 @@ val run_all :
   ?seed:int ->
   ?benchmarks:string list ->
   ?verbose:bool ->
+  ?json:bool ->
   Format.formatter ->
   summary
 (** Analyze the given benchmarks (default: the whole suite) and print
     the report.  Benchmarks are analyzed through the parallel domain
     pool; the rendered report is deterministic regardless of job count.
-    [verbose] additionally prints info-severity diagnostics. *)
+    [verbose] additionally prints info-severity diagnostics.  [json]
+    replaces the human-readable report with one machine-readable JSON
+    document (summary, per-benchmark counts, diagnostics — infos
+    included only with [verbose]). *)
 
 val ok : summary -> bool
 (** No error-severity diagnostics. *)

@@ -1,0 +1,286 @@
+module Config = Vliw_arch.Config
+module Ddg = Vliw_ir.Ddg
+module Loop = Vliw_ir.Loop
+module Mii = Vliw_ir.Mii
+module Opcode = Vliw_ir.Opcode
+module Operation = Vliw_ir.Operation
+module Chains = Vliw_core.Chains
+module Latency_assign = Vliw_core.Latency_assign
+module Pipeline = Vliw_core.Pipeline
+module Resources = Vliw_sched.Resources
+module Schedule = Vliw_sched.Schedule
+module D = Diagnostic
+
+type bound = { name : string; value : int }
+type term = { cause : string; cycles : int }
+
+type report = {
+  ii : int;
+  mii : int;
+  mii_floor : int;
+  rec_mii : int;
+  rec_mii_floor : int;
+  res_mii : int;
+  cluster_bound : bound;
+  copy_bound : bound;
+  bus_bound : int;
+  binding : string;
+  budget : term list;
+}
+
+let cdiv a b = (a + b - 1) / b
+let fu_classes = [ Opcode.Int_fu; Opcode.Fp_fu; Opcode.Mem_fu ]
+
+let fu_capacity (cfg : Config.t) = function
+  | Opcode.Int_fu -> cfg.Config.int_fus_per_cluster
+  | Opcode.Fp_fu -> cfg.Config.fp_fus_per_cluster
+  | Opcode.Mem_fu -> cfg.Config.mem_fus_per_cluster
+
+let fu_name = function
+  | Opcode.Int_fu -> "int FUs"
+  | Opcode.Fp_fu -> "fp FUs"
+  | Opcode.Mem_fu -> "mem FUs"
+
+let max_bound first rest =
+  List.fold_left (fun best b -> if b.value > best.value then b else best)
+    first rest
+
+(* As-placed per-cluster bound over the operations alone: unlike
+   [Resources.res_mii]'s perfect-balance estimate, this charges each
+   cluster with what the schedule actually put there. *)
+let cluster_bound cfg ddg (sched : Schedule.t) =
+  let bounds = ref [] in
+  for c = 0 to sched.Schedule.n_clusters - 1 do
+    List.iter
+      (fun fu ->
+        let used = Schedule.cluster_fu_usage ddg sched ~cluster:c ~fu in
+        bounds :=
+          {
+            name = Printf.sprintf "cluster %d %s" c (fu_name fu);
+            value = cdiv used (max 1 (fu_capacity cfg fu));
+          }
+          :: !bounds)
+      fu_classes;
+    bounds :=
+      {
+        name = Printf.sprintf "cluster %d issue width" c;
+        value =
+          cdiv (Schedule.ops_in_cluster sched c)
+            cfg.Config.issue_width_per_cluster;
+      }
+      :: !bounds
+  done;
+  max_bound { name = "cluster issue width"; value = 0 } !bounds
+
+(* Copies occupy issue slots in their source cluster, so the issue bound
+   with copies counted can exceed the ops-only bound above. *)
+let copy_bound cfg (sched : Schedule.t) =
+  let bounds = ref [] in
+  for c = 0 to sched.Schedule.n_clusters - 1 do
+    bounds :=
+      {
+        name = Printf.sprintf "cluster %d issue width incl. copies" c;
+        value =
+          cdiv
+            (Schedule.ops_in_cluster sched c + Schedule.copies_from sched c)
+            cfg.Config.issue_width_per_cluster;
+      }
+      :: !bounds
+  done;
+  max_bound { name = "issue width incl. copies"; value = 0 } !bounds
+
+let bus_bound cfg (sched : Schedule.t) =
+  cdiv
+    (Schedule.n_copies sched * cfg.Config.bus_occupancy)
+    (max 1 cfg.Config.n_reg_buses)
+
+let attribute cfg (c : Pipeline.compiled) =
+  let ddg = c.Pipeline.loop.Loop.ddg in
+  let sched = c.Pipeline.schedule in
+  let ii = sched.Schedule.ii in
+  let latencies = c.Pipeline.latencies in
+  let rec_mii = Mii.rec_mii ddg ~latency:(fun i -> latencies.(i)) in
+  let mode = Pipeline.mode_of_target cfg c.Pipeline.target in
+  let ladder_bottom =
+    match List.rev (Latency_assign.levels cfg mode) with
+    | bottom :: _ -> bottom
+    | [] -> 1
+  in
+  let floor_latency i =
+    if Operation.is_load (Ddg.op ddg i) then min ladder_bottom latencies.(i)
+    else latencies.(i)
+  in
+  let rec_mii_floor = Mii.rec_mii ddg ~latency:floor_latency in
+  let res_mii = Resources.res_mii cfg ddg in
+  let cluster_bound = cluster_bound cfg ddg sched in
+  let copy_bound = copy_bound cfg sched in
+  let bus_bound = bus_bound cfg sched in
+  let mii = max rec_mii res_mii in
+  let mii_floor = max rec_mii_floor res_mii in
+  (* Telescope the bound tower: each step charges its cause with exactly
+     the cycles by which it raises the tightest bound so far, so the
+     terms sum to [ii - mii_floor] by construction. *)
+  let b1 = mii in
+  let b2 = max b1 cluster_bound.value in
+  let b3 = max b2 copy_bound.value in
+  let b4 = max b3 bus_bound in
+  let budget =
+    [
+      { cause = "latency-assignment inflation"; cycles = mii - mii_floor };
+      { cause = "cluster imbalance"; cycles = b2 - b1 };
+      { cause = "copy issue pressure"; cycles = b3 - b2 };
+      { cause = "register-bus saturation"; cycles = b4 - b3 };
+      { cause = "scheduler residual"; cycles = ii - b4 };
+    ]
+    |> List.filter (fun t -> t.cycles > 0)
+    |> List.stable_sort (fun a b -> compare b.cycles a.cycles)
+  in
+  let binding =
+    if ii > b4 then "scheduler residual"
+    else
+      let named =
+        [
+          ("recurrences (assigned latencies)", rec_mii);
+          ("global resources (perfect balance)", res_mii);
+          (cluster_bound.name, cluster_bound.value);
+          (copy_bound.name, copy_bound.value);
+          ("register buses", bus_bound);
+        ]
+      in
+      match List.find_opt (fun (_, v) -> v = ii) named with
+      | Some (n, _) -> n
+      | None -> "scheduler residual"
+  in
+  {
+    ii;
+    mii;
+    mii_floor;
+    rec_mii;
+    rec_mii_floor;
+    res_mii;
+    cluster_bound;
+    copy_bound;
+    bus_bound;
+    binding;
+    budget;
+  }
+
+let summary_diag ~report ~where =
+  let top =
+    match report.budget with
+    | [] -> "none (II = ideal MII)"
+    | t :: _ -> Printf.sprintf "%s (%d)" t.cause t.cycles
+  in
+  D.info ~pass:"attr/summary" ~where
+    "II=%d MII=%d floor=%d binding=%s top-loss=%s" report.ii report.mii
+    report.mii_floor report.binding top
+
+(* ------------------------------------------------ missed-locality lint *)
+
+let class_index = function
+  | Opcode.Int_fu -> 0
+  | Opcode.Fp_fu -> 1
+  | Opcode.Mem_fu -> 2
+
+(* Re-run the per-cluster window math with one chain moved from its
+   pinned cluster to the alternative home, copies left in place (an
+   estimate: repinning would also re-route copies, which this does not
+   model). *)
+let rebound_after_move cfg ddg (sched : Schedule.t) ~members ~from_cluster
+    ~to_cluster =
+  let n = sched.Schedule.n_clusters in
+  let fu_used = Array.make_matrix n 3 0 in
+  let ops = Array.make n 0 in
+  Array.iter
+    (fun (o : Operation.t) ->
+      let cl = sched.Schedule.cluster.(o.Operation.id) in
+      let k = class_index (Opcode.fu_class o.Operation.opcode) in
+      fu_used.(cl).(k) <- fu_used.(cl).(k) + 1;
+      ops.(cl) <- ops.(cl) + 1)
+    (Ddg.ops ddg);
+  List.iter
+    (fun op ->
+      let o = Ddg.op ddg op in
+      let k = class_index (Opcode.fu_class o.Operation.opcode) in
+      fu_used.(from_cluster).(k) <- fu_used.(from_cluster).(k) - 1;
+      fu_used.(to_cluster).(k) <- fu_used.(to_cluster).(k) + 1;
+      ops.(from_cluster) <- ops.(from_cluster) - 1;
+      ops.(to_cluster) <- ops.(to_cluster) + 1)
+    members;
+  let worst = ref 0 in
+  for c = 0 to n - 1 do
+    List.iter
+      (fun fu ->
+        worst :=
+          max !worst
+            (cdiv fu_used.(c).(class_index fu) (max 1 (fu_capacity cfg fu))))
+      fu_classes;
+    worst :=
+      max !worst
+        (cdiv
+           (ops.(c) + Schedule.copies_from sched c)
+           cfg.Config.issue_width_per_cluster)
+  done;
+  !worst
+
+let missed_locality cfg layout ~where (c : Pipeline.compiled) =
+  match c.Pipeline.target with
+  | Pipeline.Unified _ | Pipeline.Multivliw
+  | Pipeline.Interleaved { chains = false; _ } ->
+      []
+  | Pipeline.Interleaved { chains = true; _ } ->
+      let ddg = c.Pipeline.loop.Loop.ddg in
+      let sched = c.Pipeline.schedule in
+      let latencies = c.Pipeline.latencies in
+      let bounds = Locality.analyze cfg layout c in
+      let verdict_of = Hashtbl.create 16 in
+      List.iter
+        (fun (v : Locality.op_verdict) ->
+          Hashtbl.replace verdict_of v.Locality.op v)
+        bounds.Locality.verdicts;
+      List.concat
+        (List.mapi
+           (fun chain members ->
+             let home =
+               (* Provable home: every member's abstract stream touches
+                  exactly one cluster, the same one for all of them. *)
+               List.fold_left
+                 (fun acc op ->
+                   match (acc, Hashtbl.find_opt verdict_of op) with
+                   | Some _, Some { Locality.clusters = [ h ]; _ } -> (
+                       match acc with
+                       | Some `Any -> Some (`Home h)
+                       | Some (`Home h') when h' = h -> acc
+                       | _ -> None)
+                   | _ -> None)
+                 (Some `Any) members
+             in
+             match home with
+             | Some (`Home home) when home <> sched.Schedule.cluster.(List.hd members)
+               ->
+                 let pinned = sched.Schedule.cluster.(List.hd members) in
+                 let stall_saving =
+                   List.fold_left
+                     (fun acc op ->
+                       if Operation.is_load (Ddg.op ddg op) then
+                         acc + max 0 (cfg.Config.lat_remote_hit - latencies.(op))
+                       else acc)
+                     0 members
+                 in
+                 let new_bound =
+                   rebound_after_move cfg ddg sched ~members
+                     ~from_cluster:pinned ~to_cluster:home
+                 in
+                 let cost = max 0 (new_bound - sched.Schedule.ii) in
+                 if stall_saving > cost then
+                   [
+                     D.warn ~pass:"attr/missed-locality" ~where
+                       "chain %d (%d mem ops) pinned to cluster %d but \
+                        provably homed on cluster %d: repinning saves ~%d \
+                        stall cycles/iteration at resource cost %d"
+                       chain (List.length members) pinned home stall_saving
+                       cost;
+                   ]
+                 else []
+             | _ -> [])
+           (Chains.chains c.Pipeline.chains))

@@ -1,0 +1,72 @@
+(** II-bound attribution: where does each cycle of the achieved II go?
+
+    A modulo schedule's II is wedged between a tower of lower bounds —
+    recurrences under the ladder-bottom latencies, the same recurrences
+    after latency assignment traded II for stall coverage, the
+    perfect-balance resource bound, the as-placed per-cluster FU/issue
+    pressure, the issue slots eaten by inter-cluster copies, and the
+    register-bus windows those copies occupy.  {!attribute} re-derives
+    every bound for a compiled loop and telescopes them into a ranked
+    cycle-loss budget whose terms sum exactly to [ii - mii_floor], so
+    every cycle above the ideal MII is attributed to exactly one cause.
+
+    The {!missed_locality} lint closes the loop with the locality
+    analysis: a chain whose members are all provably homed on one
+    cluster, yet pinned elsewhere by IBC/IPBC, is flagged together with
+    the estimated per-iteration cycle delta of repinning it (stall
+    saving minus the resource-bound increase from re-running the
+    per-cluster window math under the alternative pin). *)
+
+type bound = {
+  name : string;  (** human-readable constraint, e.g. ["cluster 2 mem FUs"] *)
+  value : int;  (** the II this constraint alone forces *)
+}
+
+type term = {
+  cause : string;
+  cycles : int;  (** >= 0; the budget's terms sum to [ii - mii_floor] *)
+}
+
+type report = {
+  ii : int;  (** achieved initiation interval *)
+  mii : int;  (** [max rec_mii res_mii] under the assigned latencies *)
+  mii_floor : int;
+      (** the same with every load at the latency ladder's bottom — the
+          II the loop could reach if no stall had to be covered *)
+  rec_mii : int;
+  rec_mii_floor : int;
+  res_mii : int;  (** perfect-balance resource bound *)
+  cluster_bound : bound;
+      (** tightest as-placed per-cluster FU / issue bound (copies
+          excluded) *)
+  copy_bound : bound;
+      (** tightest per-cluster issue bound counting the copies each
+          cluster must also issue *)
+  bus_bound : int;
+      (** [ceil (n_copies * bus_occupancy / n_reg_buses)] — every copy
+          holds a register bus for [bus_occupancy] cycles of the window *)
+  binding : string;
+      (** the constraint matching the achieved II, or ["scheduler
+          residual"] when the II sits strictly above every bound *)
+  budget : term list;
+      (** ranked by cycles, zero terms dropped; sums to [ii - mii_floor] *)
+}
+
+val attribute : Vliw_arch.Config.t -> Vliw_core.Pipeline.compiled -> report
+
+val summary_diag : report:report -> where:string -> Diagnostic.t
+(** Info-severity one-liner (pass ["attr/summary"]): achieved II, both
+    MIIs, the binding constraint and the top budget term. *)
+
+val missed_locality :
+  Vliw_arch.Config.t ->
+  Vliw_workloads.Layout.t ->
+  where:string ->
+  Vliw_core.Pipeline.compiled ->
+  Diagnostic.t list
+(** Warn-severity lints (pass ["attr/missed-locality"]), one per chain
+    that is provably homed — every member's abstract address stream
+    touches exactly one cluster, the same for all members — on a cluster
+    other than the one the heuristic pinned it to, when the estimated
+    per-iteration stall saving of repinning exceeds the estimated
+    resource-bound cost.  Empty for targets without chain pinning. *)

@@ -1,0 +1,196 @@
+module Config = Vliw_arch.Config
+module Loop = Vliw_ir.Loop
+module Pipeline = Vliw_core.Pipeline
+module WL = Vliw_workloads
+module Pool = Vliw_parallel.Pool
+module D = Diagnostic
+
+type loop_report = {
+  bench : string;
+  loop : string;
+  target : Pipeline.target;
+  unroll_factor : int;
+  considered : (int * int) list;
+  attribution : Attribution.report;
+  locality : Locality.bounds option;
+  lints : D.t list;
+}
+
+type summary = { benchmarks : int; loops : int; gaps : int; lints : int }
+
+(* The compile targets of the [analyze] matrix (the simulation backends
+   are irrelevant here — explain never simulates). *)
+let targets =
+  [
+    Pipeline.Interleaved { heuristic = `Ipbc; chains = true };
+    Pipeline.Interleaved { heuristic = `Ibc; chains = true };
+    Pipeline.Unified { slow = true };
+    Pipeline.Multivliw;
+  ]
+
+let explain_bench cfg ~seed (bench : WL.Benchspec.t) =
+  let profile_layout =
+    WL.Layout.create cfg ~aligned:true ~run:WL.Layout.Profile_run ~seed
+  in
+  let exec_layout =
+    WL.Layout.create cfg ~aligned:true ~run:WL.Layout.Execution_run ~seed
+  in
+  let profiler = WL.Profiling.profiler cfg profile_layout in
+  List.concat_map
+    (fun target ->
+      List.map
+        (fun loop ->
+          let c =
+            Pipeline.compile cfg ~target
+              ~strategy:Vliw_core.Unroll_select.Selective ~profiler loop
+          in
+          let where =
+            Printf.sprintf "%s/%s[%s]" bench.WL.Benchspec.name
+              loop.Loop.name
+              (Pipeline.target_to_string target)
+          in
+          let locality =
+            match target with
+            | Pipeline.Interleaved _ ->
+                Some (Locality.analyze cfg exec_layout c)
+            | Pipeline.Unified _ | Pipeline.Multivliw -> None
+          in
+          {
+            bench = bench.WL.Benchspec.name;
+            loop = loop.Loop.name;
+            target;
+            unroll_factor = c.Pipeline.unroll_factor;
+            considered = c.Pipeline.considered;
+            attribution = Attribution.attribute cfg c;
+            locality;
+            lints = Attribution.missed_locality cfg exec_layout ~where c;
+          })
+        (WL.Benchspec.loops bench))
+    targets
+
+(* ------------------------------------------------------------- report *)
+
+let pp_loop ppf (r : loop_report) =
+  let a = r.attribution in
+  Format.fprintf ppf "  %-12s %-22s UF=%-2d II=%-3d MII=%-3d floor=%-3d %s"
+    r.loop
+    (Pipeline.target_to_string r.target)
+    r.unroll_factor a.Attribution.ii a.Attribution.mii
+    a.Attribution.mii_floor a.Attribution.binding;
+  if a.Attribution.budget <> [] then
+    Format.fprintf ppf "; losses: %s"
+      (String.concat ", "
+         (List.map
+            (fun (t : Attribution.term) ->
+              Printf.sprintf "%s=%d" t.Attribution.cause t.Attribution.cycles)
+            a.Attribution.budget));
+  Option.iter
+    (fun (b : Locality.bounds) ->
+      Format.fprintf ppf "; locality %dL/%dR/%dM" b.Locality.n_local
+        b.Locality.n_remote b.Locality.n_mixed)
+    r.locality;
+  Format.fprintf ppf "@."
+
+let json_of_loop (r : loop_report) =
+  let a = r.attribution in
+  let bound (b : Attribution.bound) =
+    Printf.sprintf {|{"name":"%s","value":%d}|}
+      (D.json_escape b.Attribution.name)
+      b.Attribution.value
+  in
+  let budget =
+    String.concat ","
+      (List.map
+         (fun (t : Attribution.term) ->
+           Printf.sprintf {|{"cause":"%s","cycles":%d}|}
+             (D.json_escape t.Attribution.cause)
+             t.Attribution.cycles)
+         a.Attribution.budget)
+  in
+  let considered =
+    String.concat ","
+      (List.map (fun (f, est) -> Printf.sprintf "[%d,%d]" f est) r.considered)
+  in
+  let locality =
+    match r.locality with
+    | None -> "null"
+    | Some b ->
+        Printf.sprintf
+          {|{"n_local":%d,"n_remote":%d,"n_mixed":%d,"trip_local":%d,"trip_remote":%d,"trip_total":%d}|}
+          b.Locality.n_local b.Locality.n_remote b.Locality.n_mixed
+          b.Locality.trip_local b.Locality.trip_remote b.Locality.trip_total
+  in
+  let lints = String.concat "," (List.map D.to_json r.lints) in
+  Printf.sprintf
+    {|{"bench":"%s","loop":"%s","target":"%s","unroll":%d,"considered":[%s],"ii":%d,"mii":%d,"mii_floor":%d,"rec_mii":%d,"rec_mii_floor":%d,"res_mii":%d,"cluster_bound":%s,"copy_bound":%s,"bus_bound":%d,"binding":"%s","budget":[%s],"locality":%s,"lints":[%s]}|}
+    (D.json_escape r.bench) (D.json_escape r.loop)
+    (D.json_escape (Pipeline.target_to_string r.target))
+    r.unroll_factor considered a.Attribution.ii a.Attribution.mii
+    a.Attribution.mii_floor a.Attribution.rec_mii
+    a.Attribution.rec_mii_floor a.Attribution.res_mii
+    (bound a.Attribution.cluster_bound)
+    (bound a.Attribution.copy_bound)
+    a.Attribution.bus_bound
+    (D.json_escape a.Attribution.binding)
+    budget locality lints
+
+let run_all ?(cfg = Config.default) ?(seed = 7) ?benchmarks ?(json = false)
+    ppf =
+  let benches =
+    match benchmarks with
+    | None -> WL.Mediabench.all
+    | Some names -> List.map WL.Mediabench.find names
+  in
+  let per_bench =
+    Pool.map_ordered (fun b -> explain_bench cfg ~seed b) benches
+  in
+  let reports = List.concat per_bench in
+  let summary =
+    {
+      benchmarks = List.length benches;
+      loops = List.length reports;
+      gaps =
+        List.fold_left
+          (fun acc r ->
+            if r.attribution.Attribution.ii > r.attribution.Attribution.mii
+            then acc + 1
+            else acc)
+          0 reports;
+      lints =
+        List.fold_left
+          (fun acc (r : loop_report) -> acc + List.length r.lints)
+          0 reports;
+    }
+  in
+  if json then begin
+    Format.fprintf ppf
+      "{@.  \"summary\": \
+       {\"benchmarks\":%d,\"loops\":%d,\"gaps\":%d,\"lints\":%d},@."
+      summary.benchmarks summary.loops summary.gaps summary.lints;
+    Format.fprintf ppf "  \"loops\": [@.";
+    List.iteri
+      (fun i r ->
+        Format.fprintf ppf "    %s%s@." (json_of_loop r)
+          (if i < List.length reports - 1 then "," else ""))
+      reports;
+    Format.fprintf ppf "  ]@.}@."
+  end
+  else begin
+    List.iter
+      (fun bench_reports ->
+        match bench_reports with
+        | [] -> ()
+        | first :: _ ->
+            Format.fprintf ppf "%s@." first.bench;
+            List.iter (fun r -> pp_loop ppf r) bench_reports;
+            List.iter
+              (fun (r : loop_report) ->
+                List.iter (fun d -> Format.fprintf ppf "%a@." D.pp d) r.lints)
+              bench_reports)
+      per_bench;
+    Format.fprintf ppf
+      "explain: %d benchmarks, %d loop reports, %d with II above MII, %d \
+       missed-locality lints@."
+      summary.benchmarks summary.loops summary.gaps summary.lints
+  end;
+  summary

@@ -1,0 +1,49 @@
+(** The [explain] driver: static diagnosis of every compiled schedule.
+
+    Where [analyze] asks "does the toolchain hold its invariants?",
+    [explain] asks "why is this schedule exactly this fast?".  For every
+    benchmark x target x loop it compiles (no simulation), runs the
+    {!Attribution} bound tower plus the {!Locality} classifier, and
+    renders per loop: achieved II against both MIIs, the binding
+    constraint, the ranked cycle-loss budget, the provable locality
+    verdict counts, the unroll candidates the selective search weighed,
+    and any missed-locality lints. *)
+
+type loop_report = {
+  bench : string;
+  loop : string;
+  target : Vliw_core.Pipeline.target;
+  unroll_factor : int;
+  considered : (int * int) list;
+      (** unroll candidates (factor, estimated Texec) the search scored *)
+  attribution : Attribution.report;
+  locality : Locality.bounds option;
+      (** [None] for targets without cluster-locality (unified,
+          multiVLIW) *)
+  lints : Diagnostic.t list;  (** missed-locality warnings *)
+}
+
+type summary = {
+  benchmarks : int;
+  loops : int;
+  gaps : int;  (** loops whose achieved II exceeds their MII *)
+  lints : int;
+}
+
+val explain_bench :
+  Vliw_arch.Config.t -> seed:int -> Vliw_workloads.Benchspec.t ->
+  loop_report list
+(** All loop reports of one benchmark, every target of the [analyze]
+    matrix, loops in program order. *)
+
+val run_all :
+  ?cfg:Vliw_arch.Config.t ->
+  ?seed:int ->
+  ?benchmarks:string list ->
+  ?json:bool ->
+  Format.formatter ->
+  summary
+(** Explain the given benchmarks (default: the whole suite); benchmarks
+    run through the parallel domain pool, output is deterministic.
+    [json] emits one machine-readable JSON document instead of the
+    table. *)

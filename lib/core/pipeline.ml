@@ -18,6 +18,7 @@ type compiled = {
   chains : Chains.t;
   schedule : Schedule.t;
   estimated_cycles : int;
+  considered : (int * int) list;
 }
 
 exception Scheduling_failed of string
@@ -106,6 +107,7 @@ let compile_factor cfg ~target ~profiler ~source ~base_profile factor =
         chains;
         schedule;
         estimated_cycles;
+        considered = [];
       }
 
 let compile cfg ~target ~strategy ~profiler source =
@@ -127,6 +129,13 @@ let compile cfg ~target ~strategy ~profiler source =
           (fun best c ->
             if c.estimated_cycles <= best.estimated_cycles then c else best)
           first rest
+      in
+      let best =
+        {
+          best with
+          considered =
+            List.map (fun c -> (c.unroll_factor, c.estimated_cycles)) candidates;
+        }
       in
       !check_hook cfg best;
       best

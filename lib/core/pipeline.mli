@@ -26,6 +26,11 @@ type compiled = {
   chains : Chains.t;
   schedule : Vliw_sched.Schedule.t;
   estimated_cycles : int;
+  considered : (int * int) list;
+      (** (unroll factor, estimated Texec) of every candidate the
+          selective search scheduled, ascending factor order — the
+          provenance of [unroll_factor].  Empty when the record was built
+          outside {!compile} (e.g. for a single forced factor). *)
 }
 
 exception Scheduling_failed of string

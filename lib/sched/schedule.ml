@@ -25,6 +25,21 @@ let n_copies t = List.length t.copies
 let ops_in_cluster t c =
   Array.fold_left (fun acc cl -> if cl = c then acc + 1 else acc) 0 t.cluster
 
+let copies_from t c =
+  List.fold_left
+    (fun acc cp -> if cp.from_cluster = c then acc + 1 else acc)
+    0 t.copies
+
+let cluster_fu_usage ddg t ~cluster ~fu =
+  Array.fold_left
+    (fun acc (o : Operation.t) ->
+      if
+        t.cluster.(o.Operation.id) = cluster
+        && Opcode.fu_class o.Operation.opcode = fu
+      then acc + 1
+      else acc)
+    0 (Ddg.ops ddg)
+
 let workload_balance t =
   let counts = Array.make t.n_clusters 0 in
   Array.iter (fun c -> counts.(c) <- counts.(c) + 1) t.cluster;

@@ -30,6 +30,16 @@ val workload_balance : t -> float
 val ops_in_cluster : t -> int -> int
 (** Operations (without copies) assigned to a cluster. *)
 
+val copies_from : t -> int -> int
+(** Copies issued from a cluster — they occupy its issue slots (and a
+    register bus), not its functional units. *)
+
+val cluster_fu_usage :
+  Vliw_ir.Ddg.t -> t -> cluster:int -> fu:Vliw_ir.Opcode.fu_class -> int
+(** Operations of one functional-unit class placed in one cluster, for
+    re-deriving the as-assigned (rather than perfectly balanced)
+    resource bound of a schedule. *)
+
 val validate :
   Vliw_arch.Config.t ->
   Vliw_ir.Ddg.t ->

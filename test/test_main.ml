@@ -13,6 +13,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
+      ("locality", Test_locality.suite);
       ("figures", Test_figures.suite);
       ("properties", Test_props.suite);
     ]

@@ -104,6 +104,7 @@ let compiled_of ~assigned_latency ~cluster ~granularity ~trip =
       { Schedule.ii = 4; n_clusters = 4; cluster = [| cluster |];
         start = [| 0 |]; copies = [] };
     estimated_cycles = trip * 4;
+    considered = [];
   }
 
 let run ?attractable ~assigned_latency ~cluster ?(granularity = 4) ?(trip = 10)
@@ -199,6 +200,7 @@ let test_executor_store_never_stalls () =
         { Schedule.ii = 4; n_clusters = 4; cluster = [| 1 |];
           start = [| 0 |]; copies = [] };
       estimated_cycles = 40;
+      considered = [];
     }
   in
   let machine =
