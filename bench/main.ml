@@ -77,6 +77,64 @@ let timed_analyze () =
       Format.pp_print_flush bppf ();
       (Unix.gettimeofday () -. t0, summary))
 
+(* The batched sweep the tentpole targets: fig6 (AB on/off x heuristics)
+   plus the traffic ablation on a fresh context at jobs=1, so the number
+   tracks the single-core cost of one compile of every swept plan plus
+   the batched simulations — the end-to-end figure the >=2x acceptance
+   criterion is stated against. *)
+let timed_sweep () =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 1;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      let bppf = Format.formatter_of_buffer buf in
+      let ctx = E.Context.create () in
+      let t0 = Unix.gettimeofday () in
+      E.Fig6.run bppf ctx;
+      E.Ablation_traffic.run bppf ctx;
+      Format.pp_print_flush bppf ();
+      Unix.gettimeofday () -. t0)
+
+(* Previous value of a "key": wall_s-style float in the old
+   BENCH_compile.json, if one exists — enough JSON scanning to apply the
+   regression warnings against the committed baseline. *)
+let previous_json_float ~key =
+  match In_channel.with_open_text "BENCH_compile.json" In_channel.input_all with
+  | exception Sys_error _ -> None
+  | text -> (
+      let needle = Printf.sprintf "\"%s\"" key in
+      match String.index_opt text '{' with
+      | None -> None
+      | Some _ -> (
+          let rec find i =
+            if i + String.length needle > String.length text then None
+            else if String.sub text i (String.length needle) = needle then
+              Some (i + String.length needle)
+            else find (i + 1)
+          in
+          match find 0 with
+          | None -> None
+          | Some i ->
+              let j = ref i in
+              while
+                !j < String.length text
+                && (text.[!j] = ':' || text.[!j] = ' ')
+              do
+                incr j
+              done;
+              let k = ref !j in
+              while
+                !k < String.length text
+                && (match text.[!k] with
+                   | '0' .. '9' | '.' | '-' -> true
+                   | _ -> false)
+              do
+                incr k
+              done;
+              float_of_string_opt (String.sub text !j (!k - !j))))
+
 (* The explain sweep (attribution + locality abstract interpretation
    over every compiled loop), sequential for the same reason. *)
 let timed_explain () =
@@ -96,16 +154,22 @@ let write_bench_json ~estimates =
   let n = max 2 (Pool.default_jobs ()) in
   let effective = Pool.effective_jobs n in
   (* On a host whose hardware parallelism is 1 the pool degrades
-     [--jobs n] to a sequential run, so both measurements would time the
-     identical code path and their ratio would be pure timer noise:
-     measure once and record the degenerate case honestly instead. *)
+     [--jobs n] to a sequential run, so a second measurement would time
+     the identical code path and the ratio would be pure timer noise:
+     skip the redundant run and record only the sequential figure. *)
   let degenerate = effective <= 1 in
   let seq_s, seq_out = timed_fig4 ~jobs:1 in
-  let par_s, par_out =
-    if degenerate then (seq_s, seq_out) else timed_fig4 ~jobs:n
+  let par =
+    if degenerate then None
+    else
+      let par_s, par_out = timed_fig4 ~jobs:n in
+      Some
+        ( par_s,
+          String.equal seq_out par_out,
+          if par_s > 0.0 then seq_s /. par_s else 1.0 )
   in
-  let identical = String.equal seq_out par_out in
-  let speedup = if par_s > 0.0 then seq_s /. par_s else 1.0 in
+  let prev_sweep_s = previous_json_float ~key:"sweep_fig6_wall_s" in
+  let sweep_s = timed_sweep () in
   let analyze_s, analyze_summary = timed_analyze () in
   let explain_s, explain_summary = timed_explain () in
   let path = "BENCH_compile.json" in
@@ -123,13 +187,20 @@ let write_bench_json ~estimates =
   p "  },\n";
   p "  \"fig4_wall_s\": {\n";
   p "    \"jobs_1\": %.3f,\n" seq_s;
-  p "    \"jobs_n\": %.3f,\n" par_s;
-  p "    \"n\": %d,\n" n;
-  p "    \"effective_jobs\": %d,\n" effective;
-  p "    \"degenerate\": %b,\n" degenerate;
-  p "    \"speedup\": %.3f,\n" speedup;
-  p "    \"identical\": %b\n" identical;
+  (match par with
+  | None ->
+      p "    \"n\": %d,\n" n;
+      p "    \"effective_jobs\": %d,\n" effective;
+      p "    \"skipped_degenerate\": true\n"
+  | Some (par_s, identical, speedup) ->
+      p "    \"jobs_n\": %.3f,\n" par_s;
+      p "    \"n\": %d,\n" n;
+      p "    \"effective_jobs\": %d,\n" effective;
+      p "    \"skipped_degenerate\": false,\n";
+      p "    \"speedup\": %.3f,\n" speedup;
+      p "    \"identical\": %b\n" identical);
   p "  },\n";
+  p "  \"sweep_fig6_wall_s\": %.3f,\n" sweep_s;
   p "  \"analyze\": {\n";
   p "    \"wall_s\": %.3f,\n" analyze_s;
   p "    \"errors\": %d,\n" analyze_summary.Vliw_analysis.Analyze.errors;
@@ -143,22 +214,50 @@ let write_bench_json ~estimates =
   p "  }\n";
   p "}\n";
   close_out oc;
-  if degenerate then
-    Format.fprintf ppf
-      "fig4 wall-clock: %.2fs (jobs=%d degrades to sequential on this \
-       1-core host; speedup 1.00 by construction)@."
-      seq_s n
-  else
-    Format.fprintf ppf
-      "fig4 wall-clock: %.2fs sequential, %.2fs with %d jobs (speedup \
-       %.2fx, outputs %s)@."
-      seq_s par_s n speedup
-      (if identical then "identical" else "DIFFERENT");
-  if speedup < 1.0 then
-    Format.fprintf ppf
-      "*** WARNING: parallel fig4 is SLOWER than sequential (speedup \
-       %.2fx < 1.0) — the domain pool is hurting on this host ***@."
-      speedup;
+  (match par with
+  | None ->
+      Format.fprintf ppf
+        "fig4 wall-clock: %.2fs (jobs=%d degrades to sequential on this \
+         1-core host; scaling run skipped)@."
+        seq_s n
+  | Some (par_s, identical, speedup) ->
+      Format.fprintf ppf
+        "fig4 wall-clock: %.2fs sequential, %.2fs with %d jobs (speedup \
+         %.2fx, outputs %s)@."
+        seq_s par_s n speedup
+        (if identical then "identical" else "DIFFERENT");
+      if speedup < 1.0 then
+        Format.fprintf ppf
+          "*** WARNING: parallel fig4 is SLOWER than sequential (speedup \
+           %.2fx < 1.0) — the domain pool is hurting on this host ***@."
+          speedup);
+  Format.fprintf ppf
+    "fig6+traffic sweep wall-clock: %.2fs sequential on a fresh context@."
+    sweep_s;
+  (* Same regression-warning discipline as the analyze/explain pair:
+     compare against the committed baseline's value when one exists. *)
+  (match prev_sweep_s with
+  | Some prev when prev > 0.0 && sweep_s > 1.25 *. prev ->
+      Format.fprintf ppf
+        "*** WARNING: fig6+traffic sweep (%.2fs) regressed more than 25%% \
+         over the committed baseline (%.2fs) — the batched executor or the \
+         compile path got slower ***@."
+        sweep_s prev
+  | Some _ | None -> ());
+  (* A batch of 8 cells shares one plan traversal; if it is not even
+     beating 8 independent single-cell runs, batching has regressed into
+     pure overhead. *)
+  (match
+     ( List.assoc_opt "vliw simulate/ipbc" estimates,
+       List.assoc_opt "vliw simulate-batched/ipbc" estimates )
+   with
+  | Some solo, Some batched when batched > 8.0 *. solo ->
+      Format.fprintf ppf
+        "*** WARNING: simulate-batched/ipbc (%.0f ns) is slower than 8 \
+         independent simulate/ipbc runs (%.0f ns) — lockstep batching is \
+         pure overhead on this host ***@."
+        batched (8.0 *. solo)
+  | _ -> ());
   Format.fprintf ppf
     "analyze wall-clock: %.2fs sequential for the whole suite (%d errors, \
      %d warnings)@."
@@ -179,10 +278,12 @@ let write_bench_json ~estimates =
        sweep (%.2fs) — the static analyzers have regressed ***@."
       explain_s analyze_s;
   Format.fprintf ppf "wrote %s@.@." path;
-  if not identical then begin
-    Format.fprintf ppf "ERROR: parallel fig4 output diverged from sequential@.";
-    exit 1
-  end
+  match par with
+  | Some (_, false, _) ->
+      Format.fprintf ppf
+        "ERROR: parallel fig4 output diverged from sequential@.";
+      exit 1
+  | Some (_, true, _) | None -> ()
 
 let perf () =
   let open Bechamel in
@@ -244,6 +345,30 @@ let perf () =
       (Vliw_sim.Executor.run_loop cfg machine sim_compiled
          ~addr_of:sim_addr_of ())
   in
+  (* Lockstep sweep of 8 AB capacities over one plan traversal — the
+     batched counterpart of [simulate], sharing its pre-resolved trace
+     the way the experiment drivers do through Context. *)
+  let sim_trace =
+    Vliw_sim.Executor.address_trace sim_compiled ~addr_of:sim_addr_of
+  in
+  let batched_points =
+    List.map
+      (fun ab ->
+        (Vliw_sim.Machine.Word_interleaved { attraction_buffers = true },
+         Some ab))
+      [ 2; 4; 8; 16; 32; 64; 128; 256 ]
+  in
+  let simulate_batched () =
+    let machines = Vliw_sim.Machine.create_batch cfg batched_points in
+    let cells =
+      Array.map
+        (fun m -> { Vliw_sim.Executor.machine = m; attractable = None })
+        machines
+    in
+    ignore
+      (Vliw_sim.Executor.run_loop_batched cfg cells sim_compiled
+         ~addr_trace:sim_trace ())
+  in
   let tests =
     Test.make_grouped ~name:"vliw" ~fmt:"%s %s"
       [
@@ -257,6 +382,7 @@ let perf () =
                 Vliw_core.Unroll_select.Selective));
         Test.make ~name:"compile+simulate/ipbc" (Staged.stage exec);
         Test.make ~name:"simulate/ipbc" (Staged.stage simulate);
+        Test.make ~name:"simulate-batched/ipbc" (Staged.stage simulate_batched);
       ]
   in
   let benchmark () =

@@ -132,8 +132,13 @@ let assign cfg ddg ~mode ~profile =
     else begin
       let last_changed = ref None in
       let continue = ref true in
-      while !continue && solve_with solver latencies > target do
-        let old_ii = solve_with solver latencies in
+      (* The loop only ever lowers latencies, so the last solved II stays
+         a feasible upper bound for every candidate probe — carrying it
+         (and the committed candidate's II) keeps each probe's binary
+         search short instead of restarting from the worst-case bound. *)
+      let cur_ii = ref (solve_with solver latencies) in
+      while !continue && !cur_ii > target do
+        let old_ii = !cur_ii in
         (* Best (B, delta_ii) over every load x lower-level candidate. *)
         let best = ref None in
         List.iter
@@ -145,7 +150,10 @@ let assign cfg ddg ~mode ~profile =
               (fun l' ->
                 if l' < saved then begin
                   latencies.(m) <- l';
-                  let new_ii = solve_with solver latencies in
+                  let new_ii =
+                    Mii.solve solver ~upper_feasible:old_ii
+                      ~latency:(fun i -> latencies.(i))
+                  in
                   latencies.(m) <- saved;
                   let d_ii = float_of_int (old_ii - new_ii) in
                   let d_stall =
@@ -156,19 +164,20 @@ let assign cfg ddg ~mode ~profile =
                   in
                   let key = (b, d_ii, -m, -l') in
                   match !best with
-                  | Some (bk, _, _) when bk >= key -> ()
-                  | _ -> best := Some (key, m, l')
+                  | Some (bk, _, _, _) when bk >= key -> ()
+                  | _ -> best := Some (key, m, l', new_ii)
                 end)
               ladder)
           loads;
         match !best with
         | None -> continue := false
-        | Some (_, m, l') ->
+        | Some (_, m, l', new_ii) ->
             latencies.(m) <- l';
-            last_changed := Some m
+            last_changed := Some m;
+            cur_ii := new_ii
       done;
       match !last_changed with
-      | Some m when solve_with solver latencies < target ->
+      | Some m when !cur_ii < target ->
           restore_slack ddg ~solver latencies ~recurrence ~op:m ~target
       | Some _ | None -> ()
     end

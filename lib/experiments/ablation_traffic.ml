@@ -5,56 +5,36 @@ module Table = Vliw_report.Table
 module US = Vliw_core.Unroll_select
 module WL = Vliw_workloads
 
-let interleaved_table ctx =
+(* One batched run per benchmark (parallel across benchmarks); the
+   column labels come from the first row's counters instead of a
+   redundant extra simulation. *)
+let traffic_table ctx ~title ~spec ~arch =
   let rows =
     Pool.map_ordered
       (fun bench ->
-        let _, tr =
-          Context.run_traffic ctx bench (Context.interleaved `Ipbc)
-            ~arch:(Machine.Word_interleaved { attraction_buffers = true })
-            ()
-        in
-        ( bench.WL.Benchspec.name,
-          List.map (fun (_, v) -> float_of_int v) tr ))
+        match Context.run_batch ctx bench spec [ Context.cell arch ] with
+        | [ (_, tr) ] ->
+            ( bench.WL.Benchspec.name,
+              List.map fst tr,
+              List.map (fun (_, v) -> float_of_int v) tr )
+        | _ -> assert false)
       WL.Mediabench.all
   in
-  let columns =
-    match WL.Mediabench.all with
-    | b :: _ ->
-        let _, tr =
-          Context.run_traffic ctx b (Context.interleaved `Ipbc)
-            ~arch:(Machine.Word_interleaved { attraction_buffers = true })
-            ()
-        in
-        List.map fst tr
-    | [] -> []
-  in
-  Table.make ~title:"Bus traffic, word-interleaved cache (IPBC + AB)"
-    ~columns (rows @ [ Context.amean rows ])
+  let columns = match rows with (_, labels, _) :: _ -> labels | [] -> [] in
+  let rows = List.map (fun (name, _, vs) -> (name, vs)) rows in
+  Table.make ~title ~columns (rows @ [ Context.amean rows ])
+
+let interleaved_table ctx =
+  traffic_table ctx ~title:"Bus traffic, word-interleaved cache (IPBC + AB)"
+    ~spec:(Context.interleaved `Ipbc)
+    ~arch:(Machine.Word_interleaved { attraction_buffers = true })
 
 let multivliw_table ctx =
-  let spec =
-    { Context.target = Pipeline.Multivliw; strategy = US.Selective;
-      aligned = true }
-  in
-  let run bench =
-    Context.run_traffic ctx bench spec ~arch:Machine.Multivliw ()
-  in
-  let rows =
-    Pool.map_ordered
-      (fun bench ->
-        let _, tr = run bench in
-        ( bench.WL.Benchspec.name,
-          List.map (fun (_, v) -> float_of_int v) tr ))
-      WL.Mediabench.all
-  in
-  let columns =
-    match WL.Mediabench.all with
-    | b :: _ -> List.map fst (snd (run b))
-    | [] -> []
-  in
-  Table.make ~title:"Coherence traffic, multiVLIW (MSI snoopy protocol)"
-    ~columns (rows @ [ Context.amean rows ])
+  traffic_table ctx ~title:"Coherence traffic, multiVLIW (MSI snoopy protocol)"
+    ~spec:
+      { Context.target = Pipeline.Multivliw; strategy = US.Selective;
+        aligned = true }
+    ~arch:Machine.Multivliw
 
 let tables ctx = [ interleaved_table ctx; multivliw_table ctx ]
 

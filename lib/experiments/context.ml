@@ -1,48 +1,26 @@
 module Config = Vliw_arch.Config
 module Loop = Vliw_ir.Loop
+module Memo = Vliw_parallel.Memo
 module Pipeline = Vliw_core.Pipeline
 module Unroll_select = Vliw_core.Unroll_select
 module Schedule = Vliw_sched.Schedule
 module WL = Vliw_workloads
 module Sim = Vliw_sim
 
-(* The compile memo is shared by every worker domain of the parallel
-   experiment engine, so it is mutex-guarded with per-key single-flight:
-   the first domain to ask for a key claims it (In_flight) and compiles
-   outside the lock; latecomers block on the condition until the result
-   lands.  No (bench, spec) pair is ever compiled twice.
-
-   The memo is sharded by key hash: domains asking for different keys
-   contend on different locks, and a broadcast after a compile only
-   wakes waiters of that shard rather than every blocked domain.
-   Single-flight still holds per key because a key always maps to the
-   same shard. *)
-type entry = In_flight | Ready of Pipeline.compiled list
-
-type shard = {
-  cache : (string, entry) Hashtbl.t;
-  lock : Mutex.t;
-  ready : Condition.t;
+(* Both memos are shared by every worker domain of the parallel
+   experiment engine; Vliw_parallel.Memo provides the sharded,
+   single-flight concurrency discipline (no key is ever computed
+   twice, waiters block per shard rather than on one global lock). *)
+type t = {
+  cfg : Config.t;
+  seed : int;
+  compiles : Pipeline.compiled list Memo.t;
+  traces : int array Memo.t;
+      (* per-plan address traces, keyed by (compile key, loop index) *)
 }
 
-let n_shards = 16 (* power of two: shard index is a mask of the hash *)
-
-type t = { cfg : Config.t; seed : int; shards : shard array }
-
 let create ?(cfg = Config.default) ?(seed = 7) () =
-  {
-    cfg;
-    seed;
-    shards =
-      Array.init n_shards (fun _ ->
-          {
-            cache = Hashtbl.create 8;
-            lock = Mutex.create ();
-            ready = Condition.create ();
-          });
-  }
-
-let shard_for t key = t.shards.(Hashtbl.hash key land (n_shards - 1))
+  { cfg; seed; compiles = Memo.create (); traces = Memo.create () }
 
 let cfg t = t.cfg
 
@@ -78,64 +56,43 @@ let compile_uncached t bench spec =
     (WL.Benchspec.loops bench)
 
 let compiled t bench spec =
-  let key = cache_key t bench spec in
-  let sh = shard_for t key in
-  Mutex.lock sh.lock;
-  let rec claim () =
-    match Hashtbl.find_opt sh.cache key with
-    | Some (Ready cs) ->
-        Mutex.unlock sh.lock;
-        `Hit cs
-    | Some In_flight ->
-        Condition.wait sh.ready sh.lock;
-        claim ()
-    | None ->
-        Hashtbl.replace sh.cache key In_flight;
-        Mutex.unlock sh.lock;
-        `Miss
-  in
-  match claim () with
-  | `Hit cs -> cs
-  | `Miss -> (
-      match compile_uncached t bench spec with
-      | cs ->
-          Mutex.lock sh.lock;
-          Hashtbl.replace sh.cache key (Ready cs);
-          Condition.broadcast sh.ready;
-          Mutex.unlock sh.lock;
-          cs
-      | exception e ->
-          (* Release the claim so waiters retry (and fail) themselves
-             instead of blocking forever. *)
-          Mutex.lock sh.lock;
-          Hashtbl.remove sh.cache key;
-          Condition.broadcast sh.ready;
-          Mutex.unlock sh.lock;
-          raise e)
+  Memo.get t.compiles (cache_key t bench spec) (fun () ->
+      compile_uncached t bench spec)
 
-let run_loops_on t bench spec ~machine ~cfg ?(hints = false) () =
-  let exec_layout =
-    WL.Layout.create cfg ~aligned:spec.aligned ~run:WL.Layout.Execution_run
-      ~seed:t.seed
-  in
-  List.map
-    (fun (c : Pipeline.compiled) ->
-      let ddg = c.Pipeline.loop.Loop.ddg in
-      let addr_of = WL.Layout.addr_fn exec_layout ddg in
-      let attractable =
-        if hints then
-          Some
-            (Vliw_core.Hints.attractable cfg ddg ~profile:c.Pipeline.profile
-               ~schedule:c.Pipeline.schedule ())
-        else None
+(* The execution-run address stream of one compiled loop, memoized per
+   (benchmark, spec, loop).  Addresses depend on the layout only through
+   alignment, the seed and [Config.max_unroll] — none of which the
+   per-cell knobs (AB capacity, backend choice) can change — so the
+   trace is keyed and derived on the context's base configuration and
+   shared by every configuration the plan is swept against. *)
+let trace t bench spec ~index (c : Pipeline.compiled) =
+  let key = Printf.sprintf "%s|loop=%d|trace" (cache_key t bench spec) index in
+  Memo.get t.traces key (fun () ->
+      let exec_layout =
+        WL.Layout.create t.cfg ~aligned:spec.aligned
+          ~run:WL.Layout.Execution_run ~seed:t.seed
       in
-      (c, Sim.Executor.run_loop cfg machine c ~addr_of ?attractable ()))
-    (compiled t bench spec)
+      Sim.Executor.address_trace c
+        ~addr_of:(WL.Layout.addr_fn exec_layout c.Pipeline.loop.Loop.ddg))
 
 let effective_cfg t ab_entries =
   match ab_entries with
   | None -> t.cfg
   | Some n -> { t.cfg with Config.ab_entries = n }
+
+let attractable_flags cfg (c : Pipeline.compiled) =
+  Vliw_core.Hints.attractable cfg c.Pipeline.loop.Loop.ddg
+    ~profile:c.Pipeline.profile ~schedule:c.Pipeline.schedule ()
+
+let run_loops_on t bench spec ~machine ~cfg ?(hints = false) () =
+  List.mapi
+    (fun index (c : Pipeline.compiled) ->
+      let addr_trace = trace t bench spec ~index c in
+      let attractable =
+        if hints then Some (attractable_flags cfg c) else None
+      in
+      (c, Sim.Executor.run_loop cfg machine c ~addr_trace ?attractable ()))
+    (compiled t bench spec)
 
 let run_loops t bench spec ~arch ?ab_entries ?hints () =
   let cfg = effective_cfg t ab_entries in
@@ -157,6 +114,76 @@ let run_traffic t bench spec ~arch () =
     (fun (_, s) -> Sim.Stats.accumulate ~into:agg s)
     (run_loops_on t bench spec ~machine ~cfg ());
   (agg, Sim.Machine.traffic_summary machine)
+
+(* ------------------------------------------------------------------ *)
+(* Batched sweeps: many cache configurations over one compiled plan.
+
+   A cell is one memory-hierarchy point of a sweep.  All cells of a
+   batch share the compiled plan and its memoized address trace; each
+   keeps its own machine across every loop of the benchmark (cache
+   contents legitimately survive from loop to loop, as in the
+   non-batched runner) and its own statistics.  Batching happens
+   *within* the calling worker domain — the experiment drivers
+   parallelize across plans and batch the configurations inside. *)
+
+type cell = {
+  cell_arch : Sim.Machine.arch;
+  cell_ab_entries : int option;
+  cell_hints : bool;
+}
+
+let cell ?ab_entries ?(hints = false) arch =
+  { cell_arch = arch; cell_ab_entries = ab_entries; cell_hints = hints }
+
+let batch_machines_and_loops t bench spec cells =
+  let machines =
+    Sim.Machine.create_batch t.cfg
+      (List.map (fun cl -> (cl.cell_arch, cl.cell_ab_entries)) cells)
+  in
+  let cells_a = Array.of_list cells in
+  let per_loop =
+    List.mapi
+      (fun index (c : Pipeline.compiled) ->
+        let addr_trace = trace t bench spec ~index c in
+        let bcells =
+          Array.mapi
+            (fun j cl ->
+              {
+                Sim.Executor.machine = machines.(j);
+                attractable =
+                  (if cl.cell_hints then
+                     Some
+                       (attractable_flags
+                          (effective_cfg t cl.cell_ab_entries)
+                          c)
+                   else None);
+              })
+            cells_a
+        in
+        let stats =
+          Sim.Executor.run_loop_batched t.cfg bcells c ~addr_trace ()
+        in
+        (c, Array.to_list stats))
+      (compiled t bench spec)
+  in
+  (machines, per_loop)
+
+let run_batch_loops t bench spec cells =
+  snd (batch_machines_and_loops t bench spec cells)
+
+let run_batch t bench spec cells =
+  let machines, per_loop = batch_machines_and_loops t bench spec cells in
+  let aggs = Array.map (fun _ -> Sim.Stats.create ()) machines in
+  List.iter
+    (fun (_, stats) ->
+      List.iteri
+        (fun j s -> Sim.Stats.accumulate ~into:aggs.(j) s)
+        stats)
+    per_loop;
+  Array.to_list
+    (Array.mapi
+       (fun j agg -> (agg, Sim.Machine.traffic_summary machines.(j)))
+       aggs)
 
 let weighted_balance cs =
   let total_w =

@@ -3,12 +3,18 @@
 
     Every figure reuses compilations of the same (benchmark, target,
     unroll strategy, alignment) combination, so compiled loops are
-    memoized per context.  The memo is thread-safe and sharded by key
-    hash: each shard has its own mutex/condition, so worker domains
-    asking for different keys do not contend on a single global lock,
-    while per-key single-flight still guarantees no key is ever
-    compiled twice.  One context can be shared by all worker domains of
-    the parallel experiment engine. *)
+    memoized per context on a thread-safe sharded single-flight table
+    ({!Vliw_parallel.Memo}); a second table memoizes each compiled
+    plan's execution-run address trace, so repeated sweeps over the
+    same plan skip re-deriving the address stream.  One context can be
+    shared by all worker domains of the parallel experiment engine.
+
+    Sweeps that pit many memory-hierarchy points against one compiled
+    plan should go through {!run_batch}: the batched executor traverses
+    the plan once and dispatches each resolved address to every cell,
+    which is where the fig6 / traffic / AB-size sweeps get their
+    wall-clock win.  Batching happens inside the calling worker domain;
+    drivers parallelize across plans via {!Vliw_parallel.Pool}. *)
 
 type t
 
@@ -75,6 +81,41 @@ val run_traffic :
   unit ->
   Vliw_sim.Stats.t * (string * int) list
 (** Like {!run}, also returning the memory system's traffic counters. *)
+
+type cell = {
+  cell_arch : Vliw_sim.Machine.arch;
+  cell_ab_entries : int option;
+  cell_hints : bool;
+}
+(** One memory-hierarchy point of a batched sweep: architecture,
+    optional attraction-buffer capacity override, and whether the
+    compiler's attractable hints are applied (with K derived from the
+    cell's own AB capacity, as in {!run}). *)
+
+val cell : ?ab_entries:int -> ?hints:bool -> Vliw_sim.Machine.arch -> cell
+(** Convenience constructor; [hints] defaults to [false]. *)
+
+val run_batch :
+  t ->
+  Vliw_workloads.Benchspec.t ->
+  spec ->
+  cell list ->
+  (Vliw_sim.Stats.t * (string * int) list) list
+(** Compile the benchmark once, then simulate every cell in lockstep
+    over a single traversal of each loop's access plan
+    ({!Vliw_sim.Executor.run_loop_batched}).  Returns per-cell
+    aggregated statistics and traffic counters, in cell order — each
+    bit-identical to the corresponding {!run} / {!run_traffic} call. *)
+
+val run_batch_loops :
+  t ->
+  Vliw_workloads.Benchspec.t ->
+  spec ->
+  cell list ->
+  (Vliw_core.Pipeline.compiled * Vliw_sim.Stats.t list) list
+(** Per-loop variant of {!run_batch}: for each compiled loop, the
+    statistics of every cell (cell order), for drivers that break
+    results down by loop. *)
 
 val weighted_balance : Vliw_core.Pipeline.compiled list -> float
 (** Loop-weight-weighted mean of the schedules' workload balance — the

@@ -7,37 +7,58 @@ module WL = Vliw_workloads
 let no_ab = Vliw_sim.Machine.Word_interleaved { attraction_buffers = false }
 let with_ab = Vliw_sim.Machine.Word_interleaved { attraction_buffers = true }
 
-let configs ctx bench =
-  let ibc = Context.interleaved `Ibc and ipbc = Context.interleaved `Ipbc in
-  [
-    ("IBC", Context.run ctx bench ibc ~arch:no_ab ());
-    ("IBC+AB", Context.run ctx bench ibc ~arch:with_ab ());
-    ("IPBC", Context.run ctx bench ipbc ~arch:no_ab ());
-    ("IPBC+AB", Context.run ctx bench ipbc ~arch:with_ab ());
-  ]
+(* The figure's four configurations are two memory-hierarchy points
+   (with/without Attraction Buffers) per compiled plan (IBC, IPBC): the
+   sweep groups them by plan and runs each plan's pair as ONE batched
+   traversal, parallel across (benchmark, plan) through the domain
+   pool.  Every unique cell is simulated exactly once; the tables and
+   the summary statistics below all read from this sweep. *)
+
+type sweep = (WL.Benchspec.t * (string * Stats.t) list) list
+
+let sweep ctx : sweep =
+  let specs = [ (`Ibc, [ "IBC"; "IBC+AB" ]); (`Ipbc, [ "IPBC"; "IPBC+AB" ]) ] in
+  let units =
+    List.concat_map
+      (fun b -> List.map (fun (h, labels) -> (b, h, labels)) specs)
+      WL.Mediabench.all
+  in
+  let results =
+    Pool.map_ordered
+      (fun (b, h, labels) ->
+        let stats =
+          List.map fst
+            (Context.run_batch ctx b (Context.interleaved h)
+               [ Context.cell no_ab; Context.cell with_ab ])
+        in
+        (b, List.combine labels stats))
+      units
+  in
+  (* Each benchmark contributed its IBC pair then its IPBC pair;
+     stitch them back into one row of four configurations. *)
+  let rec stitch = function
+    | (b, ibc) :: (_, ipbc) :: rest -> (b, ibc @ ipbc) :: stitch rest
+    | [] -> []
+    | [ _ ] -> assert false
+  in
+  stitch results
 
 (* The paper omits g721dec/g721enc from this figure: their stall time is
    negligible. *)
-let plotted_benchmarks ctx =
-  Pool.map_ordered
-    (fun b ->
-      ( b,
-        Stats.stall_cycles
-          (Context.run ctx b (Context.interleaved `Ibc) ~arch:no_ab ())
-        > 0 ))
-    WL.Mediabench.all
-  |> List.filter_map (fun (b, keep) -> if keep then Some b else None)
+let plotted sw =
+  List.filter
+    (fun (_, runs) -> Stats.stall_cycles (List.assoc "IBC" runs) > 0)
+    sw
 
 let stall_kinds =
   [ Access.Remote_hit; Access.Local_miss; Access.Remote_miss; Access.Combined ]
 
-let tables ctx =
-  let benches = plotted_benchmarks ctx in
+let tables_of sw =
+  let rows_src = plotted sw in
   let normalized =
     let rows =
-      Pool.map_ordered
-        (fun bench ->
-          let runs = configs ctx bench in
+      List.map
+        (fun ((bench : WL.Benchspec.t), runs) ->
           let base =
             float_of_int (max 1 (Stats.stall_cycles (List.assoc "IBC" runs)))
           in
@@ -45,7 +66,7 @@ let tables ctx =
             List.map
               (fun (_, s) -> float_of_int (Stats.stall_cycles s) /. base)
               runs ))
-        benches
+        rows_src
     in
     let rows = rows @ [ Context.amean rows ] in
     Table.make
@@ -53,17 +74,17 @@ let tables ctx =
       ~columns:[ "IBC"; "IBC+AB"; "IPBC"; "IPBC+AB" ]
       rows
   in
-  let breakdown heuristic_label spec =
+  let breakdown heuristic_label =
     let rows =
-      Pool.map_ordered
-        (fun bench ->
-          let s = Context.run ctx bench spec ~arch:no_ab () in
+      List.map
+        (fun ((bench : WL.Benchspec.t), runs) ->
+          let s = List.assoc heuristic_label runs in
           let total = float_of_int (max 1 (Stats.stall_cycles s)) in
           ( bench.WL.Benchspec.name,
             List.map
               (fun k -> float_of_int (Stats.stall_of s k) /. total)
               stall_kinds ))
-        benches
+        rows_src
     in
     let rows = rows @ [ Context.amean rows ] in
     Table.make
@@ -73,57 +94,58 @@ let tables ctx =
       ~columns:[ "remote hit"; "local miss"; "remote miss"; "comb" ]
       rows
   in
-  [
-    normalized;
-    breakdown "IBC" (Context.interleaved `Ibc);
-    breakdown "IPBC" (Context.interleaved `Ipbc);
-  ]
+  [ normalized; breakdown "IBC"; breakdown "IPBC" ]
+
+let tables ctx = tables_of (sweep ctx)
 
 let mean f xs =
   match xs with
   | [] -> 0.0
   | _ ->
-      (* Evaluate the cells in parallel, then fold in input order so the
-         floating-point sum is identical to the sequential run. *)
-      let vs = Pool.map_ordered f xs in
+      let vs = List.map f xs in
       List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs)
 
-let ab_reduction ctx =
-  let benches = plotted_benchmarks ctx in
-  let reduction spec =
+let ab_reduction_of sw =
+  let rows = plotted sw in
+  let reduction without_label with_label =
     mean
-      (fun b ->
-        let without = Stats.stall_cycles (Context.run ctx b spec ~arch:no_ab ()) in
-        let with_ = Stats.stall_cycles (Context.run ctx b spec ~arch:with_ab ()) in
+      (fun (_, runs) ->
+        let without = Stats.stall_cycles (List.assoc without_label runs) in
+        let with_ = Stats.stall_cycles (List.assoc with_label runs) in
         if without = 0 then 0.0
         else 1.0 -. (float_of_int with_ /. float_of_int without))
-      benches
+      rows
   in
-  (reduction (Context.interleaved `Ibc), reduction (Context.interleaved `Ipbc))
+  (reduction "IBC" "IBC+AB", reduction "IPBC" "IPBC+AB")
 
-let remote_hit_share ctx =
-  let benches = plotted_benchmarks ctx in
-  let share spec =
+let ab_reduction ctx = ab_reduction_of (sweep ctx)
+
+let remote_hit_share_of sw =
+  let rows = plotted sw in
+  let share label =
     mean
-      (fun b ->
-        let s = Context.run ctx b spec ~arch:no_ab () in
+      (fun (_, runs) ->
+        let s = List.assoc label runs in
         let total = Stats.stall_cycles s in
         if total = 0 then 0.0
         else
           float_of_int (Stats.stall_of s Access.Remote_hit)
           /. float_of_int total)
-      benches
+      rows
   in
-  (share (Context.interleaved `Ibc), share (Context.interleaved `Ipbc))
+  (share "IBC", share "IPBC")
+
+let remote_hit_share ctx = remote_hit_share_of (sweep ctx)
 
 let run ppf ctx =
+  let sw = sweep ctx in
   List.iter
     (fun t ->
       Table.render ppf t;
       Format.pp_print_newline ppf ())
-    (tables ctx);
-  let r_ibc, r_ipbc = ab_reduction ctx in
-  let s_ibc, s_ipbc = remote_hit_share ctx in
+    (tables_of sw);
+  let r_ibc, r_ipbc = ab_reduction_of sw in
+  let s_ibc, s_ipbc = remote_hit_share_of sw in
   Format.fprintf ppf
     "Attraction Buffers reduce stall by %.0f%% (IBC, paper: 34%%) and \
      %.0f%% (IPBC, paper: 29%%)@.Remote hits cause %.0f%% (IBC, paper: \

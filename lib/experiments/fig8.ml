@@ -27,30 +27,65 @@ let baseline =
       strategy = US.Selective; aligned = true },
     Machine.Unified { slow = false } )
 
-let stats_of ctx bench (spec, arch) = Context.run ctx bench spec ~arch ()
+(* Each configuration compiles a different plan, so cells cannot share a
+   batch across configurations — instead every (benchmark, point) pair
+   becomes one parallel unit (a single-cell batch reusing the memoized
+   plan and trace), computed once and shared by the tables and the
+   headline instead of being re-simulated per consumer. *)
+type sweep = (string * float list * float list) list
+(* benchmark name, per-configuration normalized totals and stalls *)
 
-let tables ctx =
-  let cells =
-    Pool.map_ordered
-      (fun bench ->
-        let base =
-          float_of_int
-            (max 1 (Stats.total_cycles (stats_of ctx bench baseline)))
-        in
-        let totals, stalls =
-          List.split
-            (List.map
-               (fun (_, spec, arch) ->
-                 let s = stats_of ctx bench (spec, arch) in
-                 ( float_of_int (Stats.total_cycles s) /. base,
-                   float_of_int (Stats.stall_cycles s) /. base ))
-               configurations)
-        in
-        (bench.WL.Benchspec.name, totals, stalls))
+let sweep ctx : sweep =
+  let points =
+    baseline :: List.map (fun (_, spec, arch) -> (spec, arch)) configurations
+  in
+  let stride = List.length points in
+  let units =
+    List.concat_map
+      (fun b -> List.map (fun p -> (b, p)) points)
       WL.Mediabench.all
   in
-  let rows_total = List.map (fun (n, t, _) -> (n, t)) cells in
-  let rows_stall = List.map (fun (n, _, s) -> (n, s)) cells in
+  let stats =
+    Pool.map_ordered
+      (fun (b, (spec, arch)) ->
+        match Context.run_batch ctx b spec [ Context.cell arch ] with
+        | [ (s, _) ] -> s
+        | _ -> assert false)
+      units
+  in
+  let rec take k l =
+    if k = 0 then ([], l)
+    else
+      match l with
+      | x :: tl ->
+          let group, rest = take (k - 1) tl in
+          (x :: group, rest)
+      | [] -> assert false
+  in
+  let rec chunk = function
+    | [] -> []
+    | rest ->
+        let group, rest = take stride rest in
+        group :: chunk rest
+  in
+  List.map2
+    (fun (b : WL.Benchspec.t) group ->
+      match group with
+      | base :: confs ->
+          let base = float_of_int (max 1 (Stats.total_cycles base)) in
+          ( b.WL.Benchspec.name,
+            List.map
+              (fun s -> float_of_int (Stats.total_cycles s) /. base)
+              confs,
+            List.map
+              (fun s -> float_of_int (Stats.stall_cycles s) /. base)
+              confs )
+      | [] -> assert false)
+    WL.Mediabench.all (chunk stats)
+
+let tables_of (sw : sweep) =
+  let rows_total = List.map (fun (n, t, _) -> (n, t)) sw in
+  let rows_stall = List.map (fun (n, _, s) -> (n, s)) sw in
   let columns = List.map (fun (n, _, _) -> n) configurations in
   let finish rows = rows @ [ Context.amean rows ] in
   [
@@ -64,36 +99,23 @@ let tables ctx =
       ~columns (finish rows_stall);
   ]
 
-let headline ctx =
-  match tables ctx with
-  | total :: _ ->
-      ignore total;
-      let rows =
-        Pool.map_ordered
-          (fun bench ->
-            let base =
-              float_of_int
-                (max 1 (Stats.total_cycles (stats_of ctx bench baseline)))
-            in
-            ( bench.WL.Benchspec.name,
-              List.map
-                (fun (_, spec, arch) ->
-                  float_of_int (Stats.total_cycles (stats_of ctx bench (spec, arch)))
-                  /. base)
-                configurations ))
-          WL.Mediabench.all
-      in
-      let _, means = Context.amean rows in
-      List.map2 (fun (n, _, _) m -> (n, m)) configurations means
-  | [] -> []
+let tables ctx = tables_of (sweep ctx)
+
+let headline_of (sw : sweep) =
+  let rows = List.map (fun (n, t, _) -> (n, t)) sw in
+  let _, means = Context.amean rows in
+  List.map2 (fun (n, _, _) m -> (n, m)) configurations means
+
+let headline ctx = headline_of (sweep ctx)
 
 let run ppf ctx =
+  let sw = sweep ctx in
   List.iter
     (fun t ->
       Table.render ppf t;
       Format.pp_print_newline ppf ())
-    (tables ctx);
-  let hs = headline ctx in
+    (tables_of sw);
+  let hs = headline_of sw in
   List.iter
     (fun (n, m) -> Format.fprintf ppf "AMEAN %-12s %.3f x Unified(L=1)@." n m)
     hs;

@@ -3,6 +3,10 @@ exception Infeasible
 (* A captured recurrence: node ids remapped to a dense [0, n) range and
    the induced edges stored flat, so feasibility checks allocate nothing
    beyond one distance array. *)
+(* One simple cycle of the recurrence: the operations whose (variable)
+   latency its edges use, plus the fixed latency and distance sums. *)
+type cycle = { c_ops : int array; c_fixed : int; c_dist : int }
+
 type solver = {
   n : int;
   nodes : int array;  (** dense index -> original id *)
@@ -12,7 +16,86 @@ type solver = {
                             uses (Reg_flow), or -1 for fixed latency *)
   fixed : int array;  (** fixed component of the edge latency *)
   dists : int array;
+  dist : int array;
+      (** relaxation scratch — latency assignment runs hundreds of
+          feasibility probes per solver, so the distance array is reused
+          rather than allocated per probe (a solver is only ever used
+          from one domain) *)
+  cycles : cycle array option;
+      (** the recurrence's simple cycles, when enumeration stayed within
+          budget: II queries then reduce to a max of cycle ratios
+          instead of a Bellman–Ford binary search *)
 }
+
+(* Simple-cycle enumeration (Tiernan-style: each cycle is discovered
+   from its minimal dense node).  Dependence recurrences are small and
+   sparse, so the cycle count is tiny in practice; the work budget
+   guards the exponential worst case — on overrun the solver just keeps
+   the Bellman–Ford path.  A latency-assignment run evaluates hundreds
+   of latency vectors against one recurrence, and II = max over cycles
+   of ceil(lat(c)/dist(c)) turns each of those queries into a few dozen
+   integer ops. *)
+let max_cycles = 512
+let work_budget = 1 lsl 16
+
+exception Budget
+
+let enumerate_cycles ~n ~srcs ~dsts ~lat_ops ~fixed ~dists =
+  let m = Array.length srcs in
+  if n = 0 || m = 0 then Some [||]
+  else begin
+    let out = Array.make n [] in
+    for i = m - 1 downto 0 do
+      out.(srcs.(i)) <- i :: out.(srcs.(i))
+    done;
+    let cycles = ref [] and count = ref 0 and work = ref 0 in
+    let on_path = Array.make n false in
+    let path = ref [] in
+    (* edge indices of the current path, innermost first *)
+    try
+      for s = 0 to n - 1 do
+        let rec dfs v =
+          incr work;
+          if !work > work_budget then raise Budget;
+          List.iter
+            (fun i ->
+              let w = dsts.(i) in
+              if w = s then begin
+                let es = i :: !path in
+                let ops =
+                  List.filter_map
+                    (fun e -> if lat_ops.(e) >= 0 then Some lat_ops.(e) else None)
+                    es
+                in
+                let fx = List.fold_left (fun acc e -> acc + fixed.(e)) 0 es in
+                let d = List.fold_left (fun acc e -> acc + dists.(e)) 0 es in
+                incr count;
+                if !count > max_cycles then raise Budget;
+                cycles :=
+                  { c_ops = Array.of_list ops; c_fixed = fx; c_dist = d }
+                  :: !cycles
+              end
+              else if w > s && not on_path.(w) then begin
+                on_path.(w) <- true;
+                path := i :: !path;
+                dfs w;
+                path := List.tl !path;
+                on_path.(w) <- false
+              end)
+            out.(v)
+        in
+        on_path.(s) <- true;
+        dfs s;
+        on_path.(s) <- false
+      done;
+      Some (Array.of_list !cycles)
+    with Budget -> None
+  end
+
+let cycle_lat c ~latency =
+  let l = ref c.c_fixed in
+  Array.iter (fun op -> l := !l + latency op) c.c_ops;
+  !l
 
 let solver ddg ~nodes =
   let node_arr = Array.of_list nodes in
@@ -43,43 +126,81 @@ let solver ddg ~nodes =
       | Edge.Mem_unresolved ->
           fixed.(i) <- 1)
     edges;
-  { n; nodes = node_arr; srcs; dsts; lat_ops; fixed; dists }
+  let cycles = enumerate_cycles ~n ~srcs ~dsts ~lat_ops ~fixed ~dists in
+  { n; nodes = node_arr; srcs; dsts; lat_ops; fixed; dists;
+    dist = Array.make (max 1 n) 0; cycles }
 
+(* A positive non-simple cycle always contains a positive simple cycle
+   (cycle weights are additive over the decomposition), so checking the
+   enumerated simple cycles is exactly the Bellman–Ford positive-cycle
+   test. *)
 let solve_feasible s ~latency ~ii =
-  let dist = Array.make s.n 0 in
-  let m = Array.length s.srcs in
-  let changed = ref true and rounds = ref 0 in
-  while !changed && !rounds <= s.n do
-    changed := false;
-    incr rounds;
-    for i = 0 to m - 1 do
-      let lat =
-        if s.lat_ops.(i) >= 0 then latency s.lat_ops.(i) else s.fixed.(i)
-      in
-      let w = lat - (ii * s.dists.(i)) in
-      let cand = dist.(s.srcs.(i)) + w in
-      if cand > dist.(s.dsts.(i)) then begin
-        dist.(s.dsts.(i)) <- cand;
-        changed := true
-      end
-    done
-  done;
-  not !changed
+  match s.cycles with
+  | Some cs ->
+      Array.for_all (fun c -> cycle_lat c ~latency <= ii * c.c_dist) cs
+  | None ->
+      let dist = s.dist in
+      Array.fill dist 0 s.n 0;
+      let m = Array.length s.srcs in
+      let changed = ref true and rounds = ref 0 in
+      while !changed && !rounds <= s.n do
+        changed := false;
+        incr rounds;
+        for i = 0 to m - 1 do
+          let lat =
+            if s.lat_ops.(i) >= 0 then latency s.lat_ops.(i) else s.fixed.(i)
+          in
+          let w = lat - (ii * s.dists.(i)) in
+          let cand = dist.(s.srcs.(i)) + w in
+          if cand > dist.(s.dsts.(i)) then begin
+            dist.(s.dsts.(i)) <- cand;
+            changed := true
+          end
+        done
+      done;
+      not !changed
 
-let solve s ~latency =
-  let upper =
-    Array.fold_left (fun acc v -> acc + max 1 (latency v)) 1 s.nodes
-  in
-  if not (solve_feasible s ~latency ~ii:upper) then raise Infeasible;
-  let rec search lo hi =
-    (* Invariant: [hi] is feasible, every ii < lo is infeasible. *)
-    if lo >= hi then hi
-    else
-      let mid = (lo + hi) / 2 in
-      if solve_feasible s ~latency ~ii:mid then search lo mid
-      else search (mid + 1) hi
-  in
-  search 1 upper
+(* Feasibility is monotone in the II (edge weights only decrease), so
+   the binary search returns the unique minimal feasible II whatever
+   upper bound it starts from.  [upper_feasible] lets a caller that
+   already holds a feasible II (latency assignment lowers latencies, so
+   the previous II stays feasible) skip both the worst-case bound and
+   its infeasibility probe. *)
+let solve ?upper_feasible s ~latency =
+  match s.cycles with
+  | Some cs ->
+      (* II = max over cycles of ceil(lat/dist); a zero-distance cycle
+         with positive latency is the (only) infeasible-at-any-II case —
+         the same condition the search's worst-case-bound probe detects,
+         since every distance>=1 cycle's latency is below that bound. *)
+      let ii = ref 1 in
+      Array.iter
+        (fun c ->
+          let lat = cycle_lat c ~latency in
+          if c.c_dist = 0 then begin
+            if lat > 0 then raise Infeasible
+          end
+          else if lat > !ii * c.c_dist then
+            ii := (lat + c.c_dist - 1) / c.c_dist)
+        cs;
+      !ii
+  | None -> (
+      let rec search lo hi =
+        (* Invariant: [hi] is feasible, every ii < lo is infeasible. *)
+        if lo >= hi then hi
+        else
+          let mid = (lo + hi) / 2 in
+          if solve_feasible s ~latency ~ii:mid then search lo mid
+          else search (mid + 1) hi
+      in
+      match upper_feasible with
+      | Some upper -> search 1 upper
+      | None ->
+          let upper =
+            Array.fold_left (fun acc v -> acc + max 1 (latency v)) 1 s.nodes
+          in
+          if not (solve_feasible s ~latency ~ii:upper) then raise Infeasible;
+          search 1 upper)
 
 let feasible ddg ~latency ~nodes ~ii =
   solve_feasible (solver ddg ~nodes) ~latency ~ii

@@ -19,9 +19,13 @@ type solver
 val solver : Ddg.t -> nodes:int list -> solver
 (** Capture the subgraph induced by [nodes]. *)
 
-val solve : solver -> latency:(int -> int) -> int
+val solve : ?upper_feasible:int -> solver -> latency:(int -> int) -> int
 (** Minimum feasible II of the captured recurrence under the given
-    latencies.  @raise Infeasible on a zero-distance positive cycle. *)
+    latencies.  Feasibility is monotone in the II, so the result does
+    not depend on the search's starting bound; [upper_feasible] — an II
+    the caller knows to be feasible — only shortens the binary search.
+    @raise Infeasible on a zero-distance positive cycle (never raised
+    when [upper_feasible] is supplied). *)
 
 val solve_feasible : solver -> latency:(int -> int) -> ii:int -> bool
 

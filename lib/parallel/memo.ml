@@ -1,0 +1,102 @@
+(* A thread-safe, sharded, single-flight memo table.
+
+   This is the concurrency substrate the experiment engine's compile
+   memo was built on, extracted so any per-context cache (compiled
+   loops, per-plan address traces, ...) can reuse it: the first domain
+   to ask for a key claims it (In_flight) and computes outside the
+   lock; latecomers block on the shard's condition until the result
+   lands.  No key is ever computed twice.
+
+   The table is sharded by key hash: domains asking for different keys
+   contend on different locks, and a broadcast after a computation only
+   wakes waiters of that shard rather than every blocked domain.
+   Single-flight still holds per key because a key always maps to the
+   same shard. *)
+
+type 'a entry = In_flight | Ready of 'a
+
+type 'a shard = {
+  cache : (string, 'a entry) Hashtbl.t;
+  lock : Mutex.t;
+  ready : Condition.t;
+}
+
+type 'a t = { mask : int; shards : 'a shard array }
+
+let create ?(shards = 16) () =
+  (* Power-of-two shard count: the shard index is a mask of the hash. *)
+  let n =
+    let rec up c = if c >= shards then c else up (c * 2) in
+    up 1
+  in
+  {
+    mask = n - 1;
+    shards =
+      Array.init n (fun _ ->
+          {
+            cache = Hashtbl.create 8;
+            lock = Mutex.create ();
+            ready = Condition.create ();
+          });
+  }
+
+let shard_for t key = t.shards.(Hashtbl.hash key land t.mask)
+
+let get t key compute =
+  let sh = shard_for t key in
+  Mutex.lock sh.lock;
+  let rec claim () =
+    match Hashtbl.find_opt sh.cache key with
+    | Some (Ready v) ->
+        Mutex.unlock sh.lock;
+        `Hit v
+    | Some In_flight ->
+        Condition.wait sh.ready sh.lock;
+        claim ()
+    | None ->
+        Hashtbl.replace sh.cache key In_flight;
+        Mutex.unlock sh.lock;
+        `Miss
+  in
+  match claim () with
+  | `Hit v -> v
+  | `Miss -> (
+      match compute () with
+      | v ->
+          Mutex.lock sh.lock;
+          Hashtbl.replace sh.cache key (Ready v);
+          Condition.broadcast sh.ready;
+          Mutex.unlock sh.lock;
+          v
+      | exception e ->
+          (* Release the claim so waiters retry (and fail) themselves
+             instead of blocking forever. *)
+          Mutex.lock sh.lock;
+          Hashtbl.remove sh.cache key;
+          Condition.broadcast sh.ready;
+          Mutex.unlock sh.lock;
+          raise e)
+
+let find_opt t key =
+  let sh = shard_for t key in
+  Mutex.lock sh.lock;
+  let r =
+    match Hashtbl.find_opt sh.cache key with
+    | Some (Ready v) -> Some v
+    | Some In_flight | None -> None
+  in
+  Mutex.unlock sh.lock;
+  r
+
+let length t =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.lock;
+      let n =
+        Hashtbl.fold
+          (fun _ e acc -> match e with Ready _ -> acc + 1 | In_flight -> acc)
+          sh.cache 0
+      in
+      Mutex.unlock sh.lock;
+      acc + n)
+    0 t.shards

@@ -1,0 +1,27 @@
+(** A thread-safe, sharded, string-keyed memo table with per-key
+    single-flight — the substrate under the experiment engine's compile
+    and address-trace caches.
+
+    Sharding: each shard owns its own mutex/condition, so worker
+    domains asking for different keys usually proceed on independent
+    locks.  Single-flight: the first caller of a key computes it
+    outside the lock while latecomers block until the value lands, so
+    no key is ever computed twice — even under a full-fan-in race. *)
+
+type 'a t
+
+val create : ?shards:int -> unit -> 'a t
+(** [create ~shards ()] makes an empty memo with at least [shards]
+    shards (rounded up to a power of two; default 16). *)
+
+val get : 'a t -> string -> (unit -> 'a) -> 'a
+(** [get t key compute] returns the memoized value for [key], invoking
+    [compute] (outside the shard lock) exactly once per key across all
+    domains.  If [compute] raises, the claim is released so another
+    caller can retry, and the exception propagates. *)
+
+val find_opt : 'a t -> string -> 'a option
+(** Non-blocking lookup: [Some v] only if [key] is fully computed. *)
+
+val length : 'a t -> int
+(** Number of completed entries (in-flight claims excluded). *)

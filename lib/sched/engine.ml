@@ -287,7 +287,7 @@ let try_cycles a v c ~first ~count ~step =
   in
   loop 0 first
 
-let attempt cfg ddg ~latency ~prepared ~components ~hooks
+let attempt cfg ddg ~latency ~order_base ~components ~hooks
     ~allow_cross_cluster_mem ~hoisted ~ii =
   hooks.reset ();
   let n = Ddg.n_ops ddg in
@@ -311,10 +311,11 @@ let attempt cfg ddg ~latency ~prepared ~components ~hooks
   in
   let order =
     (* Wedge recovery: nodes a previous same-II attempt could not place
-       are hoisted to the front, where their window is unconstrained. *)
-    let base = Ordering.ordered prepared ddg ~latency ~ii in
-    if hoisted = [] then base
-    else hoisted @ List.filter (fun v -> not (List.mem v hoisted)) base
+       are hoisted to the front, where their window is unconstrained.
+       The base ordering only depends on the II, so [try_ii] computes it
+       once and shares it across hoist retries. *)
+    if hoisted = [] then order_base
+    else hoisted @ List.filter (fun v -> not (List.mem v hoisted)) order_base
   in
   let place v =
     let clusters = candidate_clusters a hooks v ~allow_cross_cluster_mem in
@@ -477,9 +478,10 @@ let schedule cfg ddg ~latency ?(hooks = default_hooks)
        zero-distance window came out empty).  Re-running the same II
        with the wedged node placed first resolves this without
        backtracking inside an attempt. *)
+    let order_base = Ordering.ordered prepared ddg ~latency ~ii in
     let rec retry hoisted k =
       match
-        attempt cfg ddg ~latency ~prepared ~components ~hooks
+        attempt cfg ddg ~latency ~order_base ~components ~hooks
           ~allow_cross_cluster_mem ~hoisted ~ii
       with
       | Ok s -> Some s

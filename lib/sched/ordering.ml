@@ -95,75 +95,124 @@ let ordered prepared ddg ~latency ~ii =
   let descendants seeds = reach (Ddg.succs ddg) (fun e -> e.Edge.dst) seeds in
   let ancestors seeds = reach (Ddg.preds ddg) (fun e -> e.Edge.src) seeds in
   let in_work = Array.make n false in
-  let pick_best candidates better =
-    List.fold_left
-      (fun best v ->
-        match best with
-        | None -> Some v
-        | Some b -> if better v b then Some v else Some b)
-      None candidates
+  let remaining = ref 0 in
+  (* The sweep repeatedly takes the minimum of the candidate set under
+     the direction's (primary, mobility, id) key.  Keys are unique (the
+     id tiebreak) and static for the whole sweep, so a binary heap with
+     membership flags yields exactly the same node each step as the
+     original fold-over-the-candidate-list — without rebuilding and
+     re-sorting that list per selection. *)
+  let k1 = Array.make n 0 in
+  let heap = Array.make n 0 in
+  let heap_size = ref 0 in
+  let in_r = Array.make n false in
+  let less a b =
+    k1.(a) < k1.(b)
+    || (k1.(a) = k1.(b)
+       &&
+       let ma = mobility a and mb = mobility b in
+       ma < mb || (ma = mb && a < b))
   in
-  let work_list () =
-    let acc = ref [] in
-    for v = n - 1 downto 0 do
-      if in_work.(v) then acc := v :: !acc
+  let push dir v =
+    if not in_r.(v) then begin
+      k1.(v) <-
+        (match dir with Top_down -> -height.(v) | Bottom_up -> -estart.(v));
+      in_r.(v) <- true;
+      let i = ref !heap_size in
+      incr heap_size;
+      heap.(!i) <- v;
+      let continue = ref true in
+      while !continue && !i > 0 do
+        let p = (!i - 1) / 2 in
+        if less heap.(!i) heap.(p) then begin
+          let tmp = heap.(p) in
+          heap.(p) <- heap.(!i);
+          heap.(!i) <- tmp;
+          i := p
+        end
+        else continue := false
+      done
+    end
+  in
+  let pop () =
+    let v = heap.(0) in
+    decr heap_size;
+    heap.(0) <- heap.(!heap_size);
+    let i = ref 0 and continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < !heap_size && less heap.(l) heap.(!s) then s := l;
+      if r < !heap_size && less heap.(r) heap.(!s) then s := r;
+      if !s = !i then continue := false
+      else begin
+        let tmp = heap.(!s) in
+        heap.(!s) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := !s
+      end
     done;
-    !acc
+    in_r.(v) <- false;
+    v
   in
-  let neighbours_of_ordered get_edges endpoint =
-    List.filter
-      (fun v ->
-        List.exists (fun e -> ordered.(endpoint e)) (get_edges v))
-      (work_list ())
+  let touches_ordered get_edges endpoint v =
+    List.exists (fun e -> ordered.(endpoint e)) (get_edges v)
   in
   let inner () =
-    while work_list () <> [] do
+    while !remaining > 0 do
       (* Choose the sweep direction from how the working set touches the
          already-ordered nodes. *)
-      let succs_of_o = neighbours_of_ordered (Ddg.preds ddg) (fun e -> e.Edge.src) in
-      let preds_of_o = neighbours_of_ordered (Ddg.succs ddg) (fun e -> e.Edge.dst) in
-      let r, dir =
-        if succs_of_o <> [] then (succs_of_o, Top_down)
-        else if preds_of_o <> [] then (preds_of_o, Bottom_up)
-        else
-          let seed =
-            pick_best (work_list ()) (fun v b ->
-                estart.(v) < estart.(b)
-                || (estart.(v) = estart.(b) && v < b))
-          in
-          (Option.to_list seed, Top_down)
-      in
-      let r = ref r and dir = ref dir in
-      while !r <> [] do
-        let better v b =
-          let key u =
-            match !dir with
-            | Top_down -> (-height.(u), mobility u, u)
-            | Bottom_up -> (-estart.(u), mobility u, u)
-          in
-          key v < key b
-        in
-        match pick_best !r better with
-        | None -> r := []
-        | Some v ->
-            append v;
-            in_work.(v) <- false;
-            let expand =
-              match !dir with
-              | Top_down ->
-                  List.filter_map
-                    (fun (e : Edge.t) ->
-                      if in_work.(e.dst) then Some e.dst else None)
-                    (Ddg.succs ddg v)
-              | Bottom_up ->
-                  List.filter_map
-                    (fun (e : Edge.t) ->
-                      if in_work.(e.src) then Some e.src else None)
-                    (Ddg.preds ddg v)
-            in
-            r :=
-              List.sort_uniq compare
-                (List.filter (fun u -> in_work.(u) && u <> v) (!r @ expand))
+      let dir = ref Top_down in
+      let seeded = ref false in
+      for v = 0 to n - 1 do
+        if
+          in_work.(v)
+          && touches_ordered (Ddg.preds ddg) (fun e -> e.Edge.src) v
+        then begin
+          seeded := true;
+          push Top_down v
+        end
+      done;
+      if not !seeded then begin
+        for v = 0 to n - 1 do
+          if
+            in_work.(v)
+            && touches_ordered (Ddg.succs ddg) (fun e -> e.Edge.dst) v
+          then begin
+            seeded := true;
+            push Bottom_up v
+          end
+        done;
+        if !seeded then dir := Bottom_up
+        else begin
+          (* No contact with the ordered set: seed with the earliest
+             (estart, id) work node, sweeping top-down. *)
+          let seed = ref (-1) in
+          for v = n - 1 downto 0 do
+            if
+              in_work.(v)
+              && (!seed < 0
+                 || estart.(v) < estart.(!seed)
+                 || (estart.(v) = estart.(!seed) && v < !seed))
+            then seed := v
+          done;
+          push Top_down !seed
+        end
+      end;
+      while !heap_size > 0 do
+        let v = pop () in
+        append v;
+        in_work.(v) <- false;
+        decr remaining;
+        match !dir with
+        | Top_down ->
+            List.iter
+              (fun (e : Edge.t) -> if in_work.(e.dst) then push Top_down e.dst)
+              (Ddg.succs ddg v)
+        | Bottom_up ->
+            List.iter
+              (fun (e : Edge.t) -> if in_work.(e.src) then push Bottom_up e.src)
+              (Ddg.preds ddg v)
       done
     done
   in
@@ -171,7 +220,11 @@ let ordered prepared ddg ~latency ~ii =
     (fun set ->
       let set = List.filter (fun v -> not ordered.(v)) set in
       if set <> [] then begin
-        List.iter (fun v -> in_work.(v) <- true) set;
+        List.iter
+          (fun v ->
+            in_work.(v) <- true;
+            incr remaining)
+          set;
         if !rev_order <> [] then begin
           (* Nodes on paths between the ordered nodes and this SCC must be
              ordered together with it so later nodes keep the
@@ -181,8 +234,12 @@ let ordered prepared ddg ~latency ~ii =
           for v = 0 to n - 1 do
             if
               (not ordered.(v))
+              && (not in_work.(v))
               && ((anc_set.(v) && desc_o.(v)) || (desc_set.(v) && anc_o.(v)))
-            then in_work.(v) <- true
+            then begin
+              in_work.(v) <- true;
+              incr remaining
+            end
           done
         end;
         inner ()

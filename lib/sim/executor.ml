@@ -114,14 +114,57 @@ let build_plan cfg (c : Pipeline.compiled) ?attractable ~unclear_threshold ()
     ops;
   p
 
-let run_loop cfg machine (c : Pipeline.compiled) ~addr_of ?attractable
-    ?(unclear_threshold = default_unclear_threshold) () =
+(* ------------------------------------------------------------------ *)
+(* Address traces.
+
+   The address a mem op resolves to depends only on (op, iteration) —
+   never on the cache configuration — so one flat trace, laid out
+   row-major by iteration over plan positions, serves every config a
+   plan is swept against.  Context memoizes these per (plan, layout)
+   so repeated sweeps over the same compiled loop skip re-deriving the
+   stream entirely. *)
+
+let trace_of_ops ops ~trip ~addr_of =
+  let n = Array.length ops in
+  let t = Array.make (n * trip) 0 in
+  for iter = 0 to trip - 1 do
+    let row = iter * n in
+    for k = 0 to n - 1 do
+      t.(row + k) <- addr_of ~op:ops.(k) ~iter
+    done
+  done;
+  t
+
+let address_trace (c : Pipeline.compiled) ~addr_of =
+  trace_of_ops
+    (Array.of_list (mem_ops_in_issue_order c))
+    ~trip:c.Pipeline.loop.Loop.trip_count ~addr_of
+
+(* Resolve the base-address source: a caller-provided memoized trace, or
+   one derived on the spot from [addr_of].  Deriving costs exactly the
+   address computations the un-traced kernel performed inline, so the
+   steady-state loop below is a pure array read either way. *)
+let resolve_trace (p : plan) ~trip ~addr_of ~addr_trace =
+  match addr_trace with
+  | Some t ->
+      if Array.length t <> Array.length p.ops * trip then
+        invalid_arg "Executor: address trace length does not match the plan";
+      t
+  | None -> (
+      match addr_of with
+      | Some f -> trace_of_ops p.ops ~trip ~addr_of:f
+      | None ->
+          invalid_arg "Executor: either ~addr_of or ~addr_trace is required")
+
+let run_loop cfg machine (c : Pipeline.compiled) ?addr_of ?addr_trace
+    ?attractable ?(unclear_threshold = default_unclear_threshold) () =
   let trip = c.Pipeline.loop.Loop.trip_count in
   let sched = c.Pipeline.schedule in
   let ii = sched.Schedule.ii in
   let p = build_plan cfg c ?attractable ~unclear_threshold () in
   let n = Array.length p.ops in
   let i_factor = cfg.Config.interleaving_factor in
+  let trace = resolve_trace p ~trip ~addr_of ~addr_trace in
   let stats = Stats.create () in
   let stall = ref 0 in
   (* Scratch slots, allocated once: [out] receives each part's result,
@@ -146,9 +189,10 @@ let run_loop cfg machine (c : Pipeline.compiled) ~addr_of ?attractable
      monomorphic [access_part k ~now ~addr] writing into [out]. *)
   let drive access_part =
     for iter = 0 to trip - 1 do
+      let row = iter * n in
       for k = 0 to n - 1 do
         let issue = (iter * ii) + p.starts.(k) + !stall in
-        let base = addr_of ~op:p.ops.(k) ~iter in
+        let base = trace.(row + k) in
         access_part k ~now:issue ~addr:base;
         slowest.Access.s_kind <- out.Access.s_kind;
         slowest.Access.s_ready_at <- out.Access.s_ready_at;
@@ -177,6 +221,115 @@ let run_loop cfg machine (c : Pipeline.compiled) ~addr_of ?attractable
   Stats.add_compute stats
     ((trip + Schedule.stage_count sched - 1) * ii);
   Machine.end_of_loop machine;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* The batched kernel: N cache configurations in lockstep over a single
+   traversal of one access plan.
+
+   Sweeps (fig6 configurations, AB sizes, the traffic ablation, the
+   design-space autopilot) re-execute the same compiled plan against
+   many memory-hierarchy points.  The plan, the Figure-5 factor masks
+   and the address trace are identical across those points, so the
+   batched driver hoists them out and keeps only what genuinely differs
+   per configuration as struct-of-arrays batch state:
+
+     - [stalls]  : each config's accumulated stall (its own clock skew),
+     - [stats]   : each config's Stats accumulator,
+     - [attracts]: each config's per-plan-position attract flag,
+     - the machines themselves (tags, AB contents, pending Int_tables).
+
+   The inner loop resolves each mem-op's address once per iteration and
+   dispatches it to every cell.  Cells are fully independent — each has
+   its own machine, stall clock and statistics — so every cell's
+   per-access sequence is exactly what a solo [run_loop] would produce:
+   results are bit-identical to running each config alone, which the
+   golden suite and the batch-composition qcheck property assert. *)
+
+type batch_cell = {
+  machine : Machine.t;
+  attractable : bool array option;
+}
+
+let run_loop_batched cfg (cells : batch_cell array) (c : Pipeline.compiled)
+    ?addr_of ?addr_trace ?(unclear_threshold = default_unclear_threshold) ()
+    =
+  let trip = c.Pipeline.loop.Loop.trip_count in
+  let sched = c.Pipeline.schedule in
+  let ii = sched.Schedule.ii in
+  let p = build_plan cfg c ~unclear_threshold () in
+  let n = Array.length p.ops in
+  let m = Array.length cells in
+  let i_factor = cfg.Config.interleaving_factor in
+  let trace = resolve_trace p ~trip ~addr_of ~addr_trace in
+  (* Struct-of-arrays per-config state. *)
+  let stalls = Array.make m 0 in
+  let stats = Array.init m (fun _ -> Stats.create ()) in
+  let attracts =
+    Array.map
+      (fun cell ->
+        match cell.attractable with
+        | None -> p.attracts (* all true; shared read-only *)
+        | Some flags -> Array.map (fun op -> flags.(op)) p.ops)
+      cells
+  in
+  let out = Access.scratch () in
+  let slowest = Access.scratch () in
+  (* One monomorphic access closure per cell, built once: the backend
+     dispatch happens here, not per access.  Cells are visited strictly
+     sequentially, so a single [out] scratch slot serves them all. *)
+  let access_of j =
+    match Machine.state cells.(j).machine with
+    | Machine.Interleaved_state ic ->
+        let att = attracts.(j) in
+        fun k ~now ~addr ->
+          Arch.Interleaved_cache.access_into ic out ~attract:att.(k) ~now
+            ~cluster:p.clusters.(k) ~addr ~store:p.stores.(k)
+    | Machine.Unified_state uc ->
+        fun _ ~now ~addr -> Arch.Unified_cache.access_into uc out ~now ~addr
+    | Machine.Coherent_state cc ->
+        fun k ~now ~addr ->
+          Arch.Coherent_cache.access_into cc out ~now ~cluster:p.clusters.(k)
+            ~addr ~store:p.stores.(k)
+  in
+  let accesses = Array.init m access_of in
+  for iter = 0 to trip - 1 do
+    let row = iter * n in
+    for k = 0 to n - 1 do
+      let base = trace.(row + k) in
+      let parts = p.parts.(k) in
+      let slot = (iter * ii) + p.starts.(k) in
+      for j = 0 to m - 1 do
+        let issue = slot + stalls.(j) in
+        let access = accesses.(j) in
+        access k ~now:issue ~addr:base;
+        slowest.Access.s_kind <- out.Access.s_kind;
+        slowest.Access.s_ready_at <- out.Access.s_ready_at;
+        for q = 1 to parts - 1 do
+          access k ~now:issue ~addr:(base + (q * i_factor));
+          if out.Access.s_ready_at >= slowest.Access.s_ready_at then begin
+            slowest.Access.s_kind <- out.Access.s_kind;
+            slowest.Access.s_ready_at <- out.Access.s_ready_at
+          end
+        done;
+        let st = stats.(j) in
+        let kind = slowest.Access.s_kind in
+        Stats.count_access st kind;
+        if not p.stores.(k) then begin
+          let s = slowest.Access.s_ready_at - (issue + p.promised.(k)) in
+          if s > 0 then begin
+            stalls.(j) <- stalls.(j) + s;
+            Stats.count_stall st kind ~cycles:s;
+            if kind = Access.Remote_hit then
+              Stats.count_stall_factor_mask st p.factor_masks.(k)
+          end
+        end
+      done
+    done
+  done;
+  let compute = (trip + Schedule.stage_count sched - 1) * ii in
+  Array.iter (fun st -> Stats.add_compute st compute) stats;
+  Array.iter (fun cell -> Machine.end_of_loop cell.machine) cells;
   stats
 
 (* ------------------------------------------------------------------ *)

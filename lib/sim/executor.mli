@@ -18,11 +18,24 @@ val default_unclear_threshold : float
 (** Preferred-cluster distribution below which an operation counts as
     having "unclear preferred cluster information" (0.9). *)
 
+val address_trace :
+  Vliw_core.Pipeline.compiled ->
+  addr_of:(op:int -> iter:int -> int) ->
+  int array
+(** The loop's full address stream as one flat array, row-major by
+    iteration over the mem ops in issue order (the executor's plan
+    order): element [iter * n + k] is the base address the [k]-th
+    plan position resolves to on iteration [iter].  Addresses depend
+    only on (op, iteration) — never on cache state — so one trace
+    serves every configuration a plan is swept against; Context
+    memoizes them per (plan, layout). *)
+
 val run_loop :
   Vliw_arch.Config.t ->
   Machine.t ->
   Vliw_core.Pipeline.compiled ->
-  addr_of:(op:int -> iter:int -> int) ->
+  ?addr_of:(op:int -> iter:int -> int) ->
+  ?addr_trace:int array ->
   ?attractable:bool array ->
   ?unclear_threshold:float ->
   unit ->
@@ -30,7 +43,10 @@ val run_loop :
 (** Execute every iteration of the compiled (already unrolled) loop,
     then signal end-of-loop to the memory system (attraction-buffer
     flush).  [addr_of] maps an operation of the *unrolled* DDG and an
-    unrolled-iteration index to a byte address.
+    unrolled-iteration index to a byte address; [addr_trace] supplies
+    the same stream pre-resolved (see {!address_trace}) so repeated
+    sweeps skip re-deriving it.  At least one of the two is required;
+    when both are given the trace wins.
 
     Implementation: an access-plan kernel.  Per-operation facts (start
     cycle, cluster, parts, store/attract flags, promised latency,
@@ -39,6 +55,40 @@ val run_loop :
     per {!Machine.state} arm, and access results travel through mutable
     scratch slots — the steady-state loop performs no heap
     allocation. *)
+
+(** One configuration of a batched sweep: its own machine (cache tags,
+    AB contents, pending-request tables) and, optionally, its own
+    compiler attract hints (per-DDG-op flags, as for {!run_loop}). *)
+type batch_cell = {
+  machine : Machine.t;
+  attractable : bool array option;
+}
+
+val run_loop_batched :
+  Vliw_arch.Config.t ->
+  batch_cell array ->
+  Vliw_core.Pipeline.compiled ->
+  ?addr_of:(op:int -> iter:int -> int) ->
+  ?addr_trace:int array ->
+  ?unclear_threshold:float ->
+  unit ->
+  Stats.t array
+(** Simulate N cache configurations in lockstep over a single traversal
+    of one access plan: the plan, factor masks and address stream are
+    shared; per-configuration stall clocks, statistics and attract
+    flags live in struct-of-arrays batch state; each mem-op's resolved
+    address is dispatched to every cell before the traversal advances.
+    Cells are fully independent, so each cell's result (and its
+    machine's traffic counters) is bit-identical to a solo {!run_loop}
+    of that configuration — asserted by the golden suite and the
+    batch-composition qcheck property.
+
+    [cfg] is the plan-side configuration; every cell must agree with it
+    on the geometry the plan bakes in (cluster count, interleaving
+    factor, maximum unroll).  Cache geometry, latencies and
+    attraction-buffer capacity are free to differ per cell — they live
+    in each cell's machine.  Returns per-cell statistics in cell
+    order. *)
 
 val run_loop_reference :
   Vliw_arch.Config.t ->

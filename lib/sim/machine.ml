@@ -35,6 +35,22 @@ let create cfg = function
 let arch t = t.arch
 let state t = t.state
 
+(* One machine per swept configuration: the struct-of-arrays state of a
+   batched executor run.  Each entry may override the attraction-buffer
+   capacity — the per-cell knob of the AB-size sweeps — while the
+   plan-side geometry (clusters, interleaving) stays [cfg]'s. *)
+let create_batch cfg specs =
+  Array.of_list
+    (List.map
+       (fun (arch, ab_entries) ->
+         let cfg =
+           match ab_entries with
+           | None -> cfg
+           | Some n -> { cfg with Arch.Config.ab_entries = n }
+         in
+         create cfg arch)
+       specs)
+
 let access t ?(attract = true) ~now ~cluster ~addr ~store () =
   match t.state with
   | Interleaved_state c ->

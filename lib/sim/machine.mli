@@ -22,6 +22,13 @@ val create : Vliw_arch.Config.t -> arch -> t
 val arch : t -> arch
 val state : t -> state
 
+val create_batch :
+  Vliw_arch.Config.t -> (arch * int option) list -> t array
+(** One machine per swept configuration, in input order — the per-cell
+    cache state of a batched executor run.  The [int option] overrides
+    [cfg]'s attraction-buffer capacity for that cell (the AB-size
+    sweeps' knob); [None] keeps [cfg]'s. *)
+
 val access :
   t ->
   ?attract:bool ->

@@ -348,10 +348,91 @@ let prop_simulation_deterministic =
          in
          once () = once ()))
 
+(* Batch composition: a batched run is the product of independent
+   per-cell simulations — restricting a batch to any subset of its
+   cells (here: a random subset, re-run as its own smaller batch) must
+   reproduce the subset's statistics and traffic exactly.  State leaking
+   across cells (a shared tag array, a stall clock indexed off the wrong
+   cell) breaks this immediately. *)
+let batch_fixture =
+  lazy
+    (let layout =
+       Vliw_workloads.Layout.create cfg ~aligned:true
+         ~run:Vliw_workloads.Layout.Profile_run ~seed:7
+     in
+     let profiler = Vliw_workloads.Profiling.profiler cfg layout in
+     let loop =
+       List.hd
+         (Vliw_workloads.Benchspec.loops
+            (Vliw_workloads.Mediabench.find "gsmdec"))
+     in
+     let c =
+       Vliw_core.Pipeline.compile cfg
+         ~target:(Vliw_core.Pipeline.Interleaved { heuristic = `Ipbc; chains = true })
+         ~strategy:Vliw_core.Unroll_select.Selective ~profiler loop
+     in
+     let exec_layout =
+       Vliw_workloads.Layout.create cfg ~aligned:true
+         ~run:Vliw_workloads.Layout.Execution_run ~seed:7
+     in
+     let addr_trace =
+       Vliw_sim.Executor.address_trace c
+         ~addr_of:
+           (Vliw_workloads.Layout.addr_fn exec_layout
+              c.Vliw_core.Pipeline.loop.Loop.ddg)
+     in
+     (c, addr_trace))
+
+let batch_points =
+  let wi ab = (Vliw_sim.Machine.Word_interleaved { attraction_buffers = true }, ab) in
+  [
+    wi (Some 2); wi (Some 8); wi (Some 32); wi (Some 256); wi None;
+    (Vliw_sim.Machine.Word_interleaved { attraction_buffers = false }, None);
+    (Vliw_sim.Machine.Unified { slow = true }, None);
+    (Vliw_sim.Machine.Multivliw, None);
+  ]
+
+let run_batch_points points =
+  let c, addr_trace = Lazy.force batch_fixture in
+  let machines = Vliw_sim.Machine.create_batch cfg points in
+  let cells =
+    Array.map
+      (fun m -> { Vliw_sim.Executor.machine = m; attractable = None })
+      machines
+  in
+  let stats = Vliw_sim.Executor.run_loop_batched cfg cells c ~addr_trace () in
+  Array.to_list
+    (Array.mapi
+       (fun j s -> (s, Vliw_sim.Machine.traffic_summary machines.(j)))
+       stats)
+
+let prop_batch_composition =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"batched sweep composes over subsets"
+       QCheck.(make Gen.(int_bound 1_000_000))
+       (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let subset =
+           List.filter (fun _ -> Random.State.bool rng) batch_points
+         in
+         let subset = if subset = [] then [ List.hd batch_points ] else subset in
+         let full = run_batch_points batch_points in
+         let sub = run_batch_points subset in
+         let of_full =
+           List.filter_map
+             (fun (p, r) -> if List.mem p subset then Some (p, r) else None)
+             (List.combine batch_points full)
+         in
+         List.for_all2
+           (fun (_, (s_full, t_full)) (s_sub, t_sub) ->
+             Vliw_sim.Stats.equal s_full s_sub && t_full = t_sub)
+           of_full sub))
+
 let suite =
   suite
   @ [
       prop_msi_single_writer;
       prop_interleaved_locality_honest;
       prop_simulation_deterministic;
+      prop_batch_composition;
     ]

@@ -332,6 +332,112 @@ let test_kernel_matches_reference () =
         golden_archs)
     [ "gsmdec"; "epicdec"; "mpeg2dec" ]
 
+(* The batched lockstep executor against both the kernel and the
+   reference, on one plan per backend target: a batch mixing every
+   attraction-buffer capacity fig6/the hints ablation sweep with all
+   four backend machines must yield, cell by cell, exactly the Stats
+   and traffic of a solo run of that configuration. *)
+let batched_cells =
+  List.map
+    (fun ab ->
+      (Printf.sprintf "AB-%d" ab,
+       Machine.Word_interleaved { attraction_buffers = true }, Some ab))
+    [ 2; 4; 8; 16; 32; 64; 128; 256 ]
+  @ [
+      ("interleaved+AB", Machine.Word_interleaved { attraction_buffers = true },
+       None);
+      ("interleaved-AB",
+       Machine.Word_interleaved { attraction_buffers = false }, None);
+      ("unified/L5", Machine.Unified { slow = true }, None);
+      ("multiVLIW", Machine.Multivliw, None);
+    ]
+
+let test_batched_matches_reference () =
+  let traffic = Alcotest.(list (pair string int)) in
+  let layout =
+    WL.Layout.create cfg ~aligned:true ~run:WL.Layout.Profile_run ~seed:7
+  in
+  let profiler = WL.Profiling.profiler cfg layout in
+  let exec_layout =
+    WL.Layout.create cfg ~aligned:true ~run:WL.Layout.Execution_run ~seed:7
+  in
+  let b = WL.Mediabench.find "gsmdec" in
+  List.iter
+    (fun target ->
+      List.iter
+        (fun loop ->
+          let c =
+            Pipeline.compile cfg ~target
+              ~strategy:Vliw_core.Unroll_select.Selective ~profiler loop
+          in
+          let addr_of = WL.Layout.addr_fn exec_layout c.Pipeline.loop.Loop.ddg in
+          let addr_trace = Executor.address_trace c ~addr_of in
+          let cell_cfg ab =
+            match ab with
+            | None -> cfg
+            | Some n -> { cfg with Config.ab_entries = n }
+          in
+          let attractable_of arch ab =
+            match arch with
+            | Machine.Word_interleaved { attraction_buffers = true } ->
+                Some
+                  (Vliw_core.Hints.attractable (cell_cfg ab)
+                     c.Pipeline.loop.Loop.ddg ~profile:c.Pipeline.profile
+                     ~schedule:c.Pipeline.schedule ())
+            | _ -> None
+          in
+          let machines =
+            Machine.create_batch cfg
+              (List.map (fun (_, arch, ab) -> (arch, ab)) batched_cells)
+          in
+          let cells =
+            Array.of_list
+              (List.mapi
+                 (fun j (_, arch, ab) ->
+                   { Executor.machine = machines.(j);
+                     attractable = attractable_of arch ab })
+                 batched_cells)
+          in
+          let batched = Executor.run_loop_batched cfg cells c ~addr_trace () in
+          List.iteri
+            (fun j (cname, arch, ab) ->
+              let tag =
+                Printf.sprintf "gsmdec/%s/%s/%s"
+                  (Pipeline.target_to_string target)
+                  loop.Loop.name cname
+              in
+              let ccfg = cell_cfg ab in
+              let attractable = attractable_of arch ab in
+              let m_solo = Machine.create ccfg arch in
+              let s_solo =
+                Executor.run_loop ccfg m_solo c ~addr_trace ?attractable ()
+              in
+              let m_ref = Machine.create ccfg arch in
+              let s_ref =
+                Executor.run_loop_reference ccfg m_ref c ~addr_of ?attractable
+                  ()
+              in
+              check cb (tag ^ ": batched = run_loop stats") true
+                (Stats.equal batched.(j) s_solo);
+              check cb (tag ^ ": batched = reference stats") true
+                (Stats.equal batched.(j) s_ref);
+              check traffic
+                (tag ^ ": batched traffic = run_loop traffic")
+                (Machine.traffic_summary m_solo)
+                (Machine.traffic_summary machines.(j));
+              check traffic
+                (tag ^ ": batched traffic = reference traffic")
+                (Machine.traffic_summary m_ref)
+                (Machine.traffic_summary machines.(j)))
+            batched_cells)
+        (WL.Benchspec.loops b))
+    [
+      Pipeline.Interleaved { heuristic = `Ipbc; chains = true };
+      Pipeline.Interleaved { heuristic = `Ibc; chains = true };
+      Pipeline.Unified { slow = true };
+      Pipeline.Multivliw;
+    ]
+
 let suite =
   [
     ("stats: counters", `Quick, test_stats_counts);
@@ -348,4 +454,6 @@ let suite =
     ("executor: figure-5 factor flags", `Quick, test_executor_factor_classification);
     ("executor: kernel matches reference on all backends", `Slow,
      test_kernel_matches_reference);
+    ("executor: batched sweep matches kernel and reference", `Slow,
+     test_batched_matches_reference);
   ]
