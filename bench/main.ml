@@ -135,6 +135,70 @@ let previous_json_float ~key =
               done;
               float_of_string_opt (String.sub text !j (!k - !j))))
 
+(* The DSE autopilot on its full default grid (>= 1000 cells over the
+   whole suite), sequential on a fresh context — the source of the
+   sweep_cells_per_s trajectory key.  Afterwards, the >=2x criterion:
+   the plan-group path evaluates one 72-cell group from cold (compile
+   each benchmark's plan once, resolve each address trace once, one
+   lockstep batch per benchmark), against a solo-cell baseline that
+   evaluates a sample of the same cells the way a naive autopilot
+   would — each on its own cold context, paying compile, trace and
+   simulation in isolation.  Both sides are throughput (cells/s) over
+   identical per-cell work, so the ratio is what grouping + batching
+   actually buys. *)
+let timed_dse () =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 1;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      let ctx = E.Context.create () in
+      let t0 = Unix.gettimeofday () in
+      let r = E.Dse.sweep ctx in
+      let wall = Unix.gettimeofday () -. t0 in
+      let spec = E.Context.interleaved `Ipbc in
+      let fam = List.hd (E.Dse.enumerate E.Dse.default_grid) in
+      let plan, cells = List.hd fam.E.Dse.f_levels in
+      let mk_cell (ccfg, ab) =
+        E.Context.cell ~cfg:ccfg
+          (Vliw_sim.Machine.Word_interleaved { attraction_buffers = ab > 0 })
+      in
+      let benches =
+        List.map Vliw_workloads.Mediabench.find
+          [ "gsmdec"; "epicdec"; "jpegenc" ]
+      in
+      let bcells = List.map mk_cell cells in
+      let t1 = Unix.gettimeofday () in
+      let batch_ctx = E.Context.with_cfg (E.Context.create ()) plan in
+      List.iter
+        (fun b ->
+          ignore (E.Context.run_batch batch_ctx b spec ~trip_cap:512 bcells))
+        benches;
+      let batched_s = Unix.gettimeofday () -. t1 in
+      let batched_rate =
+        if batched_s > 0.0 then float_of_int (List.length bcells) /. batched_s
+        else 0.0
+      in
+      (* Every 9th cell: 8 of the 72, spanning the cache/AB range. *)
+      let sample = List.filteri (fun i _ -> i mod 9 = 0) cells in
+      let t2 = Unix.gettimeofday () in
+      List.iter
+        (fun cell ->
+          let solo_ctx = E.Context.with_cfg (E.Context.create ()) plan in
+          List.iter
+            (fun b ->
+              ignore
+                (E.Context.run_batch solo_ctx b spec ~trip_cap:512
+                   [ mk_cell cell ]))
+            benches)
+        sample;
+      let solo_s = Unix.gettimeofday () -. t2 in
+      let solo_rate =
+        if solo_s > 0.0 then float_of_int (List.length sample) /. solo_s
+        else 0.0
+      in
+      (wall, r, batched_rate, solo_rate, List.length bcells))
+
 (* The explain sweep (attribution + locality abstract interpretation
    over every compiled loop), sequential for the same reason. *)
 let timed_explain () =
@@ -169,7 +233,28 @@ let write_bench_json ~estimates =
           if par_s > 0.0 then seq_s /. par_s else 1.0 )
   in
   let prev_sweep_s = previous_json_float ~key:"sweep_fig6_wall_s" in
+  let prev_cells_per_s = previous_json_float ~key:"sweep_cells_per_s" in
   let sweep_s = timed_sweep () in
+  let dse_wall, dse_r, dse_batched_rate, dse_solo_rate, dse_group_cells =
+    timed_dse ()
+  in
+  let dse_cells_per_s =
+    if dse_wall > 0.0 then
+      float_of_int dse_r.E.Dse.grid_cells_total /. dse_wall
+    else 0.0
+  in
+  let dse_speedup =
+    if dse_solo_rate > 0.0 then dse_batched_rate /. dse_solo_rate else 1.0
+  in
+  (* <= 1.0 means a batch of 8 cells beats 8 independent runs. *)
+  let batched_vs_8_solo =
+    match
+      ( List.assoc_opt "vliw simulate/ipbc" estimates,
+        List.assoc_opt "vliw simulate-batched/ipbc" estimates )
+    with
+    | Some solo, Some batched when solo > 0.0 -> Some (batched /. (8.0 *. solo))
+    | _ -> None
+  in
   let analyze_s, analyze_summary = timed_analyze () in
   let explain_s, explain_summary = timed_explain () in
   let path = "BENCH_compile.json" in
@@ -185,6 +270,9 @@ let write_bench_json ~estimates =
         (if i = List.length sorted - 1 then "" else ","))
     sorted;
   p "  },\n";
+  (match batched_vs_8_solo with
+  | Some ratio -> p "  \"simulate_batched_vs_8_solo_ratio\": %.3f,\n" ratio
+  | None -> ());
   p "  \"fig4_wall_s\": {\n";
   p "    \"jobs_1\": %.3f,\n" seq_s;
   (match par with
@@ -201,6 +289,15 @@ let write_bench_json ~estimates =
       p "    \"identical\": %b\n" identical);
   p "  },\n";
   p "  \"sweep_fig6_wall_s\": %.3f,\n" sweep_s;
+  p "  \"sweep_cells_per_s\": %.1f,\n" dse_cells_per_s;
+  p "  \"sweep_dse\": {\n";
+  p "    \"wall_s\": %.3f,\n" dse_wall;
+  p "    \"grid_cells\": %d,\n" dse_r.E.Dse.grid_cells_total;
+  p "    \"evaluated_cells\": %d,\n" (List.length dse_r.E.Dse.evaluated);
+  p "    \"pruned_cells\": %d,\n" dse_r.E.Dse.pruned_cells;
+  p "    \"frontier_cells\": %d,\n" (List.length dse_r.E.Dse.frontier);
+  p "    \"batched_vs_solo_speedup\": %.2f\n" dse_speedup;
+  p "  },\n";
   p "  \"analyze\": {\n";
   p "    \"wall_s\": %.3f,\n" analyze_s;
   p "    \"errors\": %d,\n" analyze_summary.Vliw_analysis.Analyze.errors;
@@ -247,17 +344,41 @@ let write_bench_json ~estimates =
   (* A batch of 8 cells shares one plan traversal; if it is not even
      beating 8 independent single-cell runs, batching has regressed into
      pure overhead. *)
-  (match
-     ( List.assoc_opt "vliw simulate/ipbc" estimates,
-       List.assoc_opt "vliw simulate-batched/ipbc" estimates )
-   with
-  | Some solo, Some batched when batched > 8.0 *. solo ->
+  (match batched_vs_8_solo with
+  | Some ratio ->
       Format.fprintf ppf
-        "*** WARNING: simulate-batched/ipbc (%.0f ns) is slower than 8 \
-         independent simulate/ipbc runs (%.0f ns) — lockstep batching is \
-         pure overhead on this host ***@."
-        batched (8.0 *. solo)
-  | _ -> ());
+        "simulate-batched/ipbc vs 8x simulate/ipbc: %.3fx (< 1.0 means the \
+         batch wins)@."
+        ratio;
+      if ratio > 1.0 then
+        Format.fprintf ppf
+          "*** WARNING: simulate-batched/ipbc is slower than 8 independent \
+           simulate/ipbc runs (ratio %.3f > 1.0) — lockstep batching is pure \
+           overhead on this host ***@."
+          ratio
+  | None -> ());
+  Format.fprintf ppf
+    "dse sweep wall-clock: %.2fs sequential (%d cells, %.1f cells/s; pruning \
+     skipped %d cells, frontier %d)@."
+    dse_wall dse_r.E.Dse.grid_cells_total dse_cells_per_s
+    dse_r.E.Dse.pruned_cells
+    (List.length dse_r.E.Dse.frontier);
+  Format.fprintf ppf
+    "dse plan-group batching: %d-cell group from cold, %.1f cells/s batched \
+     vs %.1f cells/s solo (%.1fx)@."
+    dse_group_cells dse_batched_rate dse_solo_rate dse_speedup;
+  if dse_speedup < 2.0 then
+    Format.fprintf ppf
+      "*** WARNING: batched sweep cells are under 2x a solo-cell baseline \
+       (%.2fx) — lockstep batching has regressed ***@."
+      dse_speedup;
+  (match prev_cells_per_s with
+  | Some prev when prev > 0.0 && dse_cells_per_s < 0.75 *. prev ->
+      Format.fprintf ppf
+        "*** WARNING: sweep throughput (%.1f cells/s) regressed more than \
+         25%% below the committed baseline (%.1f cells/s) ***@."
+        dse_cells_per_s prev
+  | Some _ | None -> ());
   Format.fprintf ppf
     "analyze wall-clock: %.2fs sequential for the whole suite (%d errors, \
      %d warnings)@."

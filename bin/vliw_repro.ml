@@ -316,6 +316,105 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(const run $ jobs_arg $ json_arg $ benches_arg ~what:"explain")
 
+(* --------------------------------------------------------------- sweep *)
+
+let sweep_cmd =
+  let doc =
+    "Design-space exploration: sweep a grid of machine configurations \
+     (clusters x interleaving x register buses x cache geometry x \
+     attraction-buffer capacity), compile each schedule-relevant config \
+     once through the shared memo, simulate each plan group's cells as \
+     one lockstep batch, prune provably-dominated bus levels, and print \
+     the Pareto frontier of cycles vs inter-cluster traffic vs hardware \
+     cost."
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Use the reduced seconds-scale grid (the runtest/CI \
+             configuration) instead of the full >= 1000-cell grid.")
+  in
+  let no_prune_arg =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Exhaustive sweep: simulate every bus level even when a lower \
+             level compiled without a single bus-window rejection (the \
+             condition under which higher levels are provably dominated).")
+  in
+  let trip_cap_arg =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "trip-cap" ] ~docv:"N"
+          ~doc:
+            "Source iterations simulated per loop (0 = all).  Every cell \
+             of a plan group is cut identically, so relative comparisons \
+             stand; the default keeps the full grid in seconds-to-minutes \
+             territory.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also write the frontier as $(docv)/dse-pareto-frontier.csv.")
+  in
+  let run jobs json smoke no_prune trip_cap csv names =
+    apply_jobs jobs;
+    let names = validate_benches names in
+    let benches =
+      Option.map (List.map WL.Mediabench.find) names
+    in
+    let grid =
+      if smoke then E.Dse.smoke_grid else E.Dse.default_grid
+    in
+    let ctx = E.Context.create () in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      E.Dse.sweep ~grid ?benches ~prune:(not no_prune) ~trip_cap ctx
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (* Throughput over the whole grid: pruned cells count — covering
+       them without simulating them is the point of the pruning rule. *)
+    let cells_per_s =
+      if wall_s > 0.0 then float_of_int result.E.Dse.grid_cells_total /. wall_s
+      else 0.0
+    in
+    (match csv with
+    | None -> ()
+    | Some dir ->
+        let path = E.Csv_export.frontier ~dir result in
+        if not json then Format.fprintf ppf "wrote %s@." path);
+    if json then
+      E.Dse.pp_json ppf ~wall_s ~cells_per_s
+        ~memo:(E.Context.memo_stats ctx) result
+    else begin
+      E.Dse.pp_human ppf result;
+      (* Counters and wall-clock go to stderr: stdout stays byte-identical
+         at any --jobs (memo hit/miss splits and timing are
+         scheduling-dependent; the report above is not). *)
+      let eppf = Format.err_formatter in
+      let stats = E.Context.memo_stats ctx in
+      List.iter
+        (fun (name, (s : Vliw_parallel.Memo.stats)) ->
+          Format.fprintf eppf
+            "memo %-9s %d resident, %d hits / %d misses, %d evictions@."
+            name s.Vliw_parallel.Memo.size s.Vliw_parallel.Memo.hits
+            s.Vliw_parallel.Memo.misses s.Vliw_parallel.Memo.evictions)
+        stats;
+      Format.fprintf eppf "%.1f cells/s (%d cells in %.2fs)@."
+        cells_per_s result.E.Dse.grid_cells_total wall_s
+    end
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ jobs_arg $ json_arg $ smoke_arg $ no_prune_arg
+      $ trip_cap_arg $ csv_arg $ benches_arg ~what:"sweep")
+
 (* ----------------------------------------------------------------- dot *)
 
 let dot_cmd =
@@ -364,5 +463,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; config_cmd; experiment_cmd; compile_cmd; run_cmd;
-            analyze_cmd; explain_cmd; dot_cmd;
+            analyze_cmd; explain_cmd; sweep_cmd; dot_cmd;
           ]))

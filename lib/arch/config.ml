@@ -92,6 +92,15 @@ let validate t =
    representation: two configs digest equal iff every field is equal. *)
 let fingerprint t = Digest.to_hex (Digest.string (Marshal.to_string t []))
 
+(* Only the dimensions the scheduler can see: cluster count,
+   interleaving factor, bus count and occupancy identify a plan group
+   of the design-space sweep (cache geometry and AB shape are
+   simulation-side).  Two configs with equal short names therefore
+   compile every loop identically at the sweep's base geometry. *)
+let short_name t =
+  Printf.sprintf "c%d·i%d·b%d·o%d" t.n_clusters t.interleaving_factor
+    t.n_reg_buses t.bus_occupancy
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Number of clusters        %d@,\

@@ -56,5 +56,12 @@ val fingerprint : t -> string
     configurations are equal.  Used to key compilation memos so entries
     can never be reused across differing machine configs. *)
 
+val short_name : t -> string
+(** Compact label over the schedule-relevant dimensions only
+    ([c<clusters>·i<interleave>·b<reg buses>·o<occupancy>]) — the
+    design-space sweep's plan-group tag.  Cache geometry and
+    attraction-buffer shape are deliberately excluded: they do not
+    affect scheduling at the sweep's shared base geometry. *)
+
 val pp : Format.formatter -> t -> unit
 (** Render the configuration as the rows of Table 2. *)

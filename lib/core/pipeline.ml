@@ -19,6 +19,7 @@ type compiled = {
   schedule : Schedule.t;
   estimated_cycles : int;
   considered : (int * int) list;
+  bus_window_rejections : int;
 }
 
 exception Scheduling_failed of string
@@ -108,9 +109,17 @@ let compile_factor cfg ~target ~profiler ~source ~base_profile factor =
         schedule;
         estimated_cycles;
         considered = [];
+        bus_window_rejections = 0;
       }
 
 let compile cfg ~target ~strategy ~profiler source =
+  (* Delta of the per-domain bus-window rejection counter around the
+     WHOLE selective search — every candidate factor, every II attempt,
+     every latency-assignment probe.  Zero means the search never
+     branched on the bus count, so the result is provably identical
+     under any larger [n_reg_buses] (see Mrt.bus_rejections); the
+     design-space sweep prunes on exactly this. *)
+  let rejections0 = Vliw_sched.Mrt.bus_rejections () in
   let base_profile = profiler source in
   let factors =
     Unroll_select.candidate_factors cfg source.Loop.ddg ~profile:base_profile
@@ -135,6 +144,8 @@ let compile cfg ~target ~strategy ~profiler source =
           best with
           considered =
             List.map (fun c -> (c.unroll_factor, c.estimated_cycles)) candidates;
+          bus_window_rejections =
+            Vliw_sched.Mrt.bus_rejections () - rejections0;
         }
       in
       !check_hook cfg best;

@@ -31,6 +31,14 @@ type compiled = {
           selective search scheduled, ascending factor order — the
           provenance of [unroll_factor].  Empty when the record was built
           outside {!compile} (e.g. for a single forced factor). *)
+  bus_window_rejections : int;
+      (** How many register-bus window probes the whole selective search
+          rejected ({!Vliw_sched.Mrt.bus_rejections} delta across every
+          candidate factor and II attempt).  Zero proves the schedule is
+          byte-identical under any larger [n_reg_buses] — the bus check
+          is the pipeline's only reader of the bus count — which is the
+          design-space sweep's sound pruning condition.  Zero (vacuously)
+          when the record was built outside {!compile}. *)
 }
 
 exception Scheduling_failed of string

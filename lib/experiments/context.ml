@@ -19,10 +19,33 @@ type t = {
       (* per-plan address traces, keyed by (compile key, loop index) *)
 }
 
-let create ?(cfg = Config.default) ?(seed = 7) () =
-  { cfg; seed; compiles = Memo.create (); traces = Memo.create () }
+(* Default memo bounds: far above what any single-figure run touches
+   (the whole suite across every spec is under a hundred compile keys)
+   yet a hard ceiling for fleet-scale sweeps, whose distinct
+   (benchmark, config) keys scale with the grid.  Eviction only costs a
+   recompute, so results never depend on the caps. *)
+let default_compile_cap = 1024
+let default_trace_cap = 8192
+
+let create ?(cfg = Config.default) ?(seed = 7)
+    ?(compile_cap = default_compile_cap) ?(trace_cap = default_trace_cap) () =
+  {
+    cfg;
+    seed;
+    compiles = Memo.create ~cap:compile_cap ();
+    traces = Memo.create ~cap:trace_cap ();
+  }
 
 let cfg t = t.cfg
+
+(* The design-space sweep's entry point into the memo machinery: a
+   sibling context for another machine configuration SHARING the memo
+   tables.  Safe because every key embeds the configuration fingerprint
+   — entries of different configs can coexist but never collide. *)
+let with_cfg t cfg = { t with cfg }
+
+let memo_stats t =
+  [ ("compiles", Memo.stats t.compiles); ("traces", Memo.stats t.traces) ]
 
 type spec = {
   target : Pipeline.target;
@@ -128,19 +151,60 @@ let run_traffic t bench spec ~arch () =
 
 type cell = {
   cell_arch : Sim.Machine.arch;
+  cell_cfg : Config.t option;
   cell_ab_entries : int option;
   cell_hints : bool;
 }
 
-let cell ?ab_entries ?(hints = false) arch =
-  { cell_arch = arch; cell_ab_entries = ab_entries; cell_hints = hints }
+let cell ?cfg ?ab_entries ?(hints = false) arch =
+  {
+    cell_arch = arch;
+    cell_cfg = cfg;
+    cell_ab_entries = ab_entries;
+    cell_hints = hints;
+  }
 
-let batch_machines_and_loops t bench spec cells =
+(* The full configuration one cell simulates under: its own config when
+   given (the design-space sweep's cache-geometry axis), the context's
+   otherwise, with the AB-capacity override applied on top either
+   way. *)
+let cell_cfg t cl =
+  let base = match cl.cell_cfg with Some c -> c | None -> t.cfg in
+  match cl.cell_ab_entries with
+  | None -> base
+  | Some n -> { base with Config.ab_entries = n }
+
+(* A cell config may vary everything simulation-side, but the plan bakes
+   in the cluster count and interleaving factor — a mismatch would have
+   the executor issuing to clusters the cell's cache doesn't map. *)
+let check_cell_geometry t cl =
+  let c = cell_cfg t cl in
+  if
+    c.Config.n_clusters <> t.cfg.Config.n_clusters
+    || c.Config.interleaving_factor <> t.cfg.Config.interleaving_factor
+  then
+    invalid_arg
+      "Context: batch cell config disagrees with the plan on cluster count \
+       or interleaving factor"
+
+let batch_machines_and_loops t bench spec ?trip_cap cells =
+  List.iter (check_cell_geometry t) cells;
   let machines =
-    Sim.Machine.create_batch t.cfg
-      (List.map (fun cl -> (cl.cell_arch, cl.cell_ab_entries)) cells)
+    Sim.Machine.create_batch_cfgs
+      (List.map (fun cl -> (cell_cfg t cl, cl.cell_arch)) cells)
   in
   let cells_a = Array.of_list cells in
+  (* [trip_cap] counts SOURCE iterations, so differently-unrolled plans
+     simulate the same amount of source work (up to the last partial
+     unrolled iteration): the per-plan cut is ceil(cap / unroll). *)
+  let trip_of (c : Pipeline.compiled) =
+    match trip_cap with
+    | None -> None
+    | Some cap when cap <= 0 -> None
+    | Some cap ->
+        let uf = max 1 c.Pipeline.unroll_factor in
+        Some ((cap + uf - 1) / uf)
+  in
   let per_loop =
     List.mapi
       (fun index (c : Pipeline.compiled) ->
@@ -152,27 +216,25 @@ let batch_machines_and_loops t bench spec cells =
                 Sim.Executor.machine = machines.(j);
                 attractable =
                   (if cl.cell_hints then
-                     Some
-                       (attractable_flags
-                          (effective_cfg t cl.cell_ab_entries)
-                          c)
+                     Some (attractable_flags (cell_cfg t cl) c)
                    else None);
               })
             cells_a
         in
         let stats =
-          Sim.Executor.run_loop_batched t.cfg bcells c ~addr_trace ()
+          Sim.Executor.run_loop_batched t.cfg bcells c ~addr_trace
+            ?trip:(trip_of c) ()
         in
         (c, Array.to_list stats))
       (compiled t bench spec)
   in
   (machines, per_loop)
 
-let run_batch_loops t bench spec cells =
-  snd (batch_machines_and_loops t bench spec cells)
+let run_batch_loops t bench spec ?trip_cap cells =
+  snd (batch_machines_and_loops t bench spec ?trip_cap cells)
 
-let run_batch t bench spec cells =
-  let machines, per_loop = batch_machines_and_loops t bench spec cells in
+let run_batch t bench spec ?trip_cap cells =
+  let machines, per_loop = batch_machines_and_loops t bench spec ?trip_cap cells in
   let aggs = Array.map (fun _ -> Sim.Stats.create ()) machines in
   List.iter
     (fun (_, stats) ->

@@ -18,8 +18,30 @@
 
 type t
 
-val create : ?cfg:Vliw_arch.Config.t -> ?seed:int -> unit -> t
+val create :
+  ?cfg:Vliw_arch.Config.t ->
+  ?seed:int ->
+  ?compile_cap:int ->
+  ?trace_cap:int ->
+  unit ->
+  t
+(** [compile_cap] / [trace_cap] bound the two memos (FIFO eviction; see
+    {!Vliw_parallel.Memo}) so fleet-scale sweeps cannot grow memory
+    without bound.  The defaults (1024 compile entries, 8192 traces)
+    are far above any single figure's working set; eviction only costs
+    a recompute, never a result. *)
+
 val cfg : t -> Vliw_arch.Config.t
+
+val with_cfg : t -> Vliw_arch.Config.t -> t
+(** A sibling context for another machine configuration $(b,sharing)
+    the memo tables — the design-space sweep compiles each
+    schedule-relevant config once through one shared memo this way.
+    Safe because every memo key embeds the config fingerprint. *)
+
+val memo_stats : t -> (string * Vliw_parallel.Memo.stats) list
+(** Hit/miss/eviction counters and resident sizes of the compile and
+    address-trace memos (labelled ["compiles"] and ["traces"]). *)
 
 type spec = {
   target : Vliw_core.Pipeline.target;
@@ -84,33 +106,50 @@ val run_traffic :
 
 type cell = {
   cell_arch : Vliw_sim.Machine.arch;
+  cell_cfg : Vliw_arch.Config.t option;
   cell_ab_entries : int option;
   cell_hints : bool;
 }
-(** One memory-hierarchy point of a batched sweep: architecture,
-    optional attraction-buffer capacity override, and whether the
-    compiler's attractable hints are applied (with K derived from the
-    cell's own AB capacity, as in {!run}). *)
+(** One memory-hierarchy point of a batched sweep: architecture, an
+    optional full per-cell configuration (the design-space sweep's
+    cache-geometry axis — must agree with the context's config on
+    cluster count and interleaving factor, which the plan bakes in), an
+    optional attraction-buffer capacity override applied on top, and
+    whether the compiler's attractable hints are applied (with K
+    derived from the cell's own AB capacity, as in {!run}). *)
 
-val cell : ?ab_entries:int -> ?hints:bool -> Vliw_sim.Machine.arch -> cell
+val cell :
+  ?cfg:Vliw_arch.Config.t ->
+  ?ab_entries:int ->
+  ?hints:bool ->
+  Vliw_sim.Machine.arch ->
+  cell
 (** Convenience constructor; [hints] defaults to [false]. *)
 
 val run_batch :
   t ->
   Vliw_workloads.Benchspec.t ->
   spec ->
+  ?trip_cap:int ->
   cell list ->
   (Vliw_sim.Stats.t * (string * int) list) list
 (** Compile the benchmark once, then simulate every cell in lockstep
     over a single traversal of each loop's access plan
     ({!Vliw_sim.Executor.run_loop_batched}).  Returns per-cell
     aggregated statistics and traffic counters, in cell order — each
-    bit-identical to the corresponding {!run} / {!run_traffic} call. *)
+    bit-identical to the corresponding {!run} / {!run_traffic} call.
+
+    [trip_cap] (source iterations per loop; default unlimited) cuts
+    every loop after [ceil (trip_cap / unroll_factor)] unrolled
+    iterations — the design-space sweep's fidelity/wall-clock knob;
+    counting source iterations keeps differently-unrolled plans
+    simulating the same work. *)
 
 val run_batch_loops :
   t ->
   Vliw_workloads.Benchspec.t ->
   spec ->
+  ?trip_cap:int ->
   cell list ->
   (Vliw_core.Pipeline.compiled * Vliw_sim.Stats.t list) list
 (** Per-loop variant of {!run_batch}: for each compiled loop, the

@@ -35,18 +35,47 @@ let all_tables ctx =
   @ Fig8.tables ctx
   @ [ Ablation_interleave.table ~seed:7; Ablation_clusters.table ~seed:7 ]
 
-let export ~dir ctx =
+let write_table ~dir t =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  List.map
-    (fun t ->
-      let path = Filename.concat dir (slug (Table.title t) ^ ".csv") in
-      let oc = open_out path in
-      let ppf = Format.formatter_of_out_channel oc in
-      Table.render_csv ppf t;
-      Format.pp_print_flush ppf ();
-      close_out oc;
-      path)
-    (all_tables ctx)
+  let path = Filename.concat dir (slug (Table.title t) ^ ".csv") in
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  Table.render_csv ppf t;
+  Format.pp_print_flush ppf ();
+  close_out oc;
+  path
+
+let export ~dir ctx = List.map (write_table ~dir) (all_tables ctx)
+
+(* The sweep's frontier as one CSV, row per frontier cell (every
+   dimension spelled out, not just the label, so external tooling can
+   pivot on any axis). *)
+let frontier ~dir (r : Dse.result) =
+  let t =
+    Table.make ~title:"dse pareto frontier"
+      ~columns:
+        [
+          "clusters"; "interleaving"; "buses"; "occupancy"; "cache_size";
+          "associativity"; "ab"; "cycles"; "traffic"; "cost";
+        ]
+      (List.map
+         (fun (c : Dse.cell_result) ->
+           ( Dse.cell_label c,
+             [
+               float_of_int c.Dse.r_clusters;
+               float_of_int c.Dse.r_interleaving;
+               float_of_int c.Dse.r_buses;
+               float_of_int c.Dse.r_occupancy;
+               float_of_int c.Dse.r_cache_size;
+               float_of_int c.Dse.r_associativity;
+               float_of_int c.Dse.r_ab;
+               float_of_int c.Dse.r_cycles;
+               float_of_int c.Dse.r_traffic;
+               c.Dse.r_cost;
+             ] ))
+         r.Dse.frontier)
+  in
+  write_table ~dir t
 
 let run ppf ctx =
   let paths = export ~dir:"results" ctx in

@@ -6,5 +6,10 @@ val all_tables : Context.t -> Vliw_report.Table.t list
 val export : dir:string -> Context.t -> string list
 (** Write each table as [dir/<slug>.csv]; returns the paths written. *)
 
+val frontier : dir:string -> Dse.result -> string
+(** Write a sweep's Pareto frontier as [dir/dse-pareto-frontier.csv],
+    one row per frontier cell with every swept dimension as its own
+    column; returns the path written. *)
+
 val run : Format.formatter -> Context.t -> unit
 (** Export into [results/] and list the files. *)

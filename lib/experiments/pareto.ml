@@ -1,0 +1,36 @@
+(* Pareto frontiers over n-objective minimization — the design-space
+   sweep's reporting core.
+
+   Deliberately the naive O(n^2) filter: the sweep emits a few thousand
+   cells at most, determinism matters more than asymptotics here, and
+   the filter preserves input order (so `--jobs 1` and `--jobs 2`
+   render identical frontiers from identical cell lists).  Points with
+   exactly equal objective vectors do not dominate each other — all of
+   them survive, which is what makes frontier equality between the
+   pruned and the exhaustive sweep an exact set comparison. *)
+
+type 'a point = { tag : 'a; objectives : float array }
+
+let point tag objectives = { tag; objectives }
+
+(* [dominates a b]: a is no worse everywhere and strictly better
+   somewhere.  Vectors must have equal length (the caller builds every
+   point from the same objective list). *)
+let dominates a b =
+  let n = Array.length a in
+  if n <> Array.length b then
+    invalid_arg "Pareto.dominates: objective arity mismatch";
+  let no_worse = ref true in
+  let better = ref false in
+  for i = 0 to n - 1 do
+    if a.(i) > b.(i) then no_worse := false
+    else if a.(i) < b.(i) then better := true
+  done;
+  !no_worse && !better
+
+let frontier points =
+  List.filter
+    (fun p ->
+      not
+        (List.exists (fun q -> dominates q.objectives p.objectives) points))
+    points

@@ -1,0 +1,19 @@
+(** Pareto frontiers over n-objective minimization — how the
+    design-space sweep reports its (cycles, traffic, hardware cost)
+    trade-off surface. *)
+
+type 'a point = { tag : 'a; objectives : float array }
+
+val point : 'a -> float array -> 'a point
+
+val dominates : float array -> float array -> bool
+(** [dominates a b]: [a] is no worse than [b] in every objective and
+    strictly better in at least one (minimization).  Equal vectors do
+    not dominate each other.
+    @raise Invalid_argument on arity mismatch. *)
+
+val frontier : 'a point list -> 'a point list
+(** The non-dominated subset, in input order.  Points with exactly
+    equal objective vectors all survive, so the frontier of a list is a
+    deterministic function of the list — the property the sweep's
+    jobs-independence and pruning-soundness golden tests compare. *)

@@ -5,42 +5,81 @@
    loops, per-plan address traces, ...) can reuse it: the first domain
    to ask for a key claims it (In_flight) and computes outside the
    lock; latecomers block on the shard's condition until the result
-   lands.  No key is ever computed twice.
+   lands.  No key is ever computed twice concurrently.
 
    The table is sharded by key hash: domains asking for different keys
    contend on different locks, and a broadcast after a computation only
    wakes waiters of that shard rather than every blocked domain.
    Single-flight still holds per key because a key always maps to the
-   same shard. *)
+   same shard.
+
+   Capacity: an optional bound caps the number of completed entries so
+   fleet-scale sweeps (thousands of distinct configurations through one
+   memo) cannot grow memory without bound.  The cap is enforced per
+   shard (total capacity is the per-shard cap times the shard count,
+   i.e. at least the requested cap); eviction is FIFO over each shard's
+   completed keys.  Evicting only trades speed for memory — an evicted
+   key is simply recomputed on its next request, with the same
+   single-flight discipline — so results never depend on the cap. *)
 
 type 'a entry = In_flight | Ready of 'a
 
 type 'a shard = {
   cache : (string, 'a entry) Hashtbl.t;
+  order : string Queue.t;  (* completed keys, oldest first (FIFO) *)
   lock : Mutex.t;
   ready : Condition.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
 }
 
-type 'a t = { mask : int; shards : 'a shard array }
+type 'a t = { mask : int; shard_cap : int option; shards : 'a shard array }
 
-let create ?(shards = 16) () =
+type stats = { size : int; hits : int; misses : int; evictions : int }
+
+let create ?(shards = 16) ?cap () =
   (* Power-of-two shard count: the shard index is a mask of the hash. *)
   let n =
     let rec up c = if c >= shards then c else up (c * 2) in
     up 1
   in
+  let shard_cap =
+    match cap with
+    | None -> None
+    | Some c -> Some (max 1 ((max 1 c + n - 1) / n))
+  in
   {
     mask = n - 1;
+    shard_cap;
     shards =
       Array.init n (fun _ ->
           {
             cache = Hashtbl.create 8;
+            order = Queue.create ();
             lock = Mutex.create ();
             ready = Condition.create ();
+            hits = 0;
+            misses = 0;
+            evictions = 0;
           });
   }
 
 let shard_for t key = t.shards.(Hashtbl.hash key land t.mask)
+
+(* Caller holds [sh.lock].  The queue mirrors the shard's Ready keys
+   exactly (an In_flight claim is only queued once it completes, and an
+   evicted key leaves the queue at eviction), so popping the front
+   always names a live completed entry. *)
+let evict_over_cap t sh =
+  match t.shard_cap with
+  | None -> ()
+  | Some cap ->
+      while Queue.length sh.order > cap do
+        let victim = Queue.pop sh.order in
+        Hashtbl.remove sh.cache victim;
+        sh.evictions <- sh.evictions + 1
+      done
 
 let get t key compute =
   let sh = shard_for t key in
@@ -48,12 +87,16 @@ let get t key compute =
   let rec claim () =
     match Hashtbl.find_opt sh.cache key with
     | Some (Ready v) ->
+        (* Waiters who blocked on another domain's In_flight claim land
+           here too: they never computed, so they count as hits. *)
+        sh.hits <- sh.hits + 1;
         Mutex.unlock sh.lock;
         `Hit v
     | Some In_flight ->
         Condition.wait sh.ready sh.lock;
         claim ()
     | None ->
+        sh.misses <- sh.misses + 1;
         Hashtbl.replace sh.cache key In_flight;
         Mutex.unlock sh.lock;
         `Miss
@@ -65,6 +108,8 @@ let get t key compute =
       | v ->
           Mutex.lock sh.lock;
           Hashtbl.replace sh.cache key (Ready v);
+          Queue.push key sh.order;
+          evict_over_cap t sh;
           Condition.broadcast sh.ready;
           Mutex.unlock sh.lock;
           v
@@ -100,3 +145,21 @@ let length t =
       Mutex.unlock sh.lock;
       acc + n)
     0 t.shards
+
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.lock;
+      let size = Queue.length sh.order in
+      let r =
+        {
+          size = acc.size + size;
+          hits = acc.hits + sh.hits;
+          misses = acc.misses + sh.misses;
+          evictions = acc.evictions + sh.evictions;
+        }
+      in
+      Mutex.unlock sh.lock;
+      r)
+    { size = 0; hits = 0; misses = 0; evictions = 0 }
+    t.shards

@@ -88,6 +88,17 @@ let bus_window_usage t ~cycle =
   done;
   usage
 
+(* Per-domain count of bus-window rejections, read as a delta around a
+   whole compile (see Pipeline.compile).  [reg_bus_free] is the only
+   consumer of [n_reg_buses] in the entire compilation pipeline, so a
+   compile whose delta is zero never branched on the bus count anywhere
+   in its search — the design-space sweep's provably-safe condition for
+   skipping higher bus counts.  The counter is monotonic and never
+   rolled back by [restore]: a rejection is a search event, not
+   reservation state. *)
+let bus_rejections_key = Domain.DLS.new_key (fun () -> ref 0)
+let bus_rejections () = !(Domain.DLS.get bus_rejections_key)
+
 let reg_bus_free t ~cycle =
   let usage = bus_window_usage t ~cycle in
   let ok = ref true in
@@ -95,6 +106,7 @@ let reg_bus_free t ~cycle =
     (fun s u ->
       if u > 0 && t.bus_used.(s) + u > t.cfg.Config.n_reg_buses then ok := false)
     usage;
+  if not !ok then incr (Domain.DLS.get bus_rejections_key);
   !ok
 
 let reserve_reg_bus t ~cycle =

@@ -29,6 +29,18 @@ val reg_bus_free : t -> cycle:int -> bool
 (** Can a transfer start at [cycle] without exceeding bus capacity
     anywhere in its occupancy window? *)
 
+val bus_rejections : unit -> int
+(** Monotonic per-domain count of {!reg_bus_free} probes that answered
+    [false].  This is the only point in the whole compilation pipeline
+    where [Config.n_reg_buses] is consulted, so a compile whose
+    before/after delta is zero provably produces a byte-identical
+    schedule under any larger bus count (every probe that succeeded at
+    [b] buses still succeeds at [b' >= b], so the search takes the
+    identical path).  The design-space sweep reads the delta (via
+    {!Vliw_core.Pipeline.compiled}) to prune dominated bus levels;
+    {!restore} deliberately does not roll the counter back — rejections
+    count search events, not reservation state. *)
+
 val reserve_reg_bus : t -> cycle:int -> unit
 (** @raise Invalid_argument if not free. *)
 

@@ -143,11 +143,15 @@ let address_trace (c : Pipeline.compiled) ~addr_of =
 (* Resolve the base-address source: a caller-provided memoized trace, or
    one derived on the spot from [addr_of].  Deriving costs exactly the
    address computations the un-traced kernel performed inline, so the
-   steady-state loop below is a pure array read either way. *)
-let resolve_trace (p : plan) ~trip ~addr_of ~addr_trace =
+   steady-state loop below is a pure array read either way.  A supplied
+   trace must cover the plan's full trip count even when only [trip]
+   iterations will be simulated — memoized traces are always
+   full-length, and the length check is the cross-check that the trace
+   belongs to this plan. *)
+let resolve_trace (p : plan) ~trip ~full_trip ~addr_of ~addr_trace =
   match addr_trace with
   | Some t ->
-      if Array.length t <> Array.length p.ops * trip then
+      if Array.length t <> Array.length p.ops * full_trip then
         invalid_arg "Executor: address trace length does not match the plan";
       t
   | None -> (
@@ -164,7 +168,7 @@ let run_loop cfg machine (c : Pipeline.compiled) ?addr_of ?addr_trace
   let p = build_plan cfg c ?attractable ~unclear_threshold () in
   let n = Array.length p.ops in
   let i_factor = cfg.Config.interleaving_factor in
-  let trace = resolve_trace p ~trip ~addr_of ~addr_trace in
+  let trace = resolve_trace p ~trip ~full_trip:trip ~addr_of ~addr_trace in
   let stats = Stats.create () in
   let stall = ref 0 in
   (* Scratch slots, allocated once: [out] receives each part's result,
@@ -252,16 +256,26 @@ type batch_cell = {
 }
 
 let run_loop_batched cfg (cells : batch_cell array) (c : Pipeline.compiled)
-    ?addr_of ?addr_trace ?(unclear_threshold = default_unclear_threshold) ()
-    =
-  let trip = c.Pipeline.loop.Loop.trip_count in
+    ?addr_of ?addr_trace ?trip
+    ?(unclear_threshold = default_unclear_threshold) () =
+  let full_trip = c.Pipeline.loop.Loop.trip_count in
+  (* The sweep's fidelity/wall-clock knob: simulate only the first
+     [trip] unrolled iterations.  Every cell of the batch is cut at the
+     same point and compute time uses the cut count, so a capped run is
+     exactly a shortened loop — still bit-identical across cells, jobs
+     and batch compositions. *)
+  let trip =
+    match trip with
+    | Some t -> max 1 (min t full_trip)
+    | None -> full_trip
+  in
   let sched = c.Pipeline.schedule in
   let ii = sched.Schedule.ii in
   let p = build_plan cfg c ~unclear_threshold () in
   let n = Array.length p.ops in
   let m = Array.length cells in
   let i_factor = cfg.Config.interleaving_factor in
-  let trace = resolve_trace p ~trip ~addr_of ~addr_trace in
+  let trace = resolve_trace p ~trip ~full_trip ~addr_of ~addr_trace in
   (* Struct-of-arrays per-config state. *)
   let stalls = Array.make m 0 in
   let stats = Array.init m (fun _ -> Stats.create ()) in

@@ -70,6 +70,7 @@ val run_loop_batched :
   Vliw_core.Pipeline.compiled ->
   ?addr_of:(op:int -> iter:int -> int) ->
   ?addr_trace:int array ->
+  ?trip:int ->
   ?unclear_threshold:float ->
   unit ->
   Stats.t array
@@ -88,7 +89,14 @@ val run_loop_batched :
     factor, maximum unroll).  Cache geometry, latencies and
     attraction-buffer capacity are free to differ per cell — they live
     in each cell's machine.  Returns per-cell statistics in cell
-    order. *)
+    order.
+
+    [trip] caps the unrolled iterations simulated (clamped to
+    [1 .. trip_count]; default: all): every cell is cut at the same
+    point and compute time uses the cut count, so a capped run is
+    exactly a shortened loop — the design-space sweep's
+    fidelity/wall-clock knob.  A supplied [addr_trace] must still be
+    the full-length stream. *)
 
 val run_loop_reference :
   Vliw_arch.Config.t ->

@@ -1,0 +1,218 @@
+(* The DSE autopilot: Pareto frontier algebra, grid enumeration
+   validity (qcheck), jobs-independence of a small sweep, the
+   prune-never-drops-a-frontier-point guarantee, and the frontier CSV
+   export. *)
+
+module Config = Vliw_arch.Config
+module Context = Vliw_experiments.Context
+module Csv_export = Vliw_experiments.Csv_export
+module Dse = Vliw_experiments.Dse
+module Pareto = Vliw_experiments.Pareto
+module Pool = Vliw_parallel.Pool
+module WL = Vliw_workloads
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* ------------------------------------------------------------- pareto *)
+
+let test_dominates () =
+  check cb "strictly better dominates" true
+    (Pareto.dominates [| 1.0; 1.0 |] [| 2.0; 2.0 |]);
+  check cb "better on one axis, equal elsewhere, dominates" true
+    (Pareto.dominates [| 1.0; 2.0 |] [| 2.0; 2.0 |]);
+  check cb "equal vectors do not dominate" false
+    (Pareto.dominates [| 1.0; 1.0 |] [| 1.0; 1.0 |]);
+  check cb "trade-off does not dominate" false
+    (Pareto.dominates [| 1.0; 3.0 |] [| 2.0; 2.0 |]);
+  check cb "worse does not dominate" false
+    (Pareto.dominates [| 3.0; 3.0 |] [| 2.0; 2.0 |])
+
+let test_frontier_basic () =
+  let pts =
+    [
+      Pareto.point "a" [| 1.0; 4.0 |];
+      Pareto.point "b" [| 2.0; 2.0 |];
+      Pareto.point "c" [| 3.0; 3.0 |] (* dominated by b *);
+      Pareto.point "d" [| 4.0; 1.0 |];
+    ]
+  in
+  let f = List.map (fun p -> p.Pareto.tag) (Pareto.frontier pts) in
+  check Alcotest.(list string) "dominated point drops, order kept"
+    [ "a"; "b"; "d" ] f
+
+let test_frontier_keeps_ties () =
+  (* Equal objective vectors never dominate each other, so every tied
+     copy survives — the sweep relies on this for exact set compares. *)
+  let pts =
+    [
+      Pareto.point "x" [| 1.0; 1.0 |];
+      Pareto.point "y" [| 1.0; 1.0 |];
+      Pareto.point "z" [| 0.5; 2.0 |];
+    ]
+  in
+  let f = List.map (fun p -> p.Pareto.tag) (Pareto.frontier pts) in
+  check Alcotest.(list string) "ties all survive" [ "x"; "y"; "z" ] f
+
+(* ------------------------------------------- grid enumeration (qcheck) *)
+
+(* Grids mixing valid and junk dimension values: enumerate must emit
+   only Config.validate-clean plans and cells, silently filtering the
+   rest, and must respect the unroll cap. *)
+let grid_gen =
+  let open QCheck.Gen in
+  let pick pool = list_size (int_range 1 3) (oneofl pool) in
+  let* clusters = pick [ 1; 2; 3; 4; 6; 8 ] in
+  let* interleavings = pick [ 1; 2; 3; 4; 8 ] in
+  let* buses = pick [ 0; 1; 2; 4; 5; 16 ] in
+  let* occupancies = pick [ 1; 2; 4 ] in
+  let* cache_sizes = pick [ 512; 2048; 3000; 4096 ] in
+  let* associativities = pick [ 1; 2; 3; 4; 8 ] in
+  let* ab_capacities = pick [ 0; 1; 2; 8; 64 ] in
+  let+ max_unroll_cap = oneofl [ 4; 8; 16; 32 ] in
+  {
+    Dse.clusters;
+    interleavings;
+    buses;
+    occupancies;
+    cache_sizes;
+    associativities;
+    ab_capacities;
+    max_unroll_cap;
+  }
+
+let print_grid (g : Dse.grid) =
+  let l xs = String.concat ";" (List.map string_of_int xs) in
+  Printf.sprintf
+    "{clusters=[%s] il=[%s] buses=[%s] occ=[%s] cache=[%s] assoc=[%s] \
+     ab=[%s] cap=%d}"
+    (l g.Dse.clusters) (l g.Dse.interleavings) (l g.Dse.buses)
+    (l g.Dse.occupancies) (l g.Dse.cache_sizes) (l g.Dse.associativities)
+    (l g.Dse.ab_capacities) g.Dse.max_unroll_cap
+
+let test_enumerate_only_valid_configs () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"enumerate emits only valid configs"
+       (QCheck.make ~print:print_grid grid_gen)
+       (fun grid ->
+         let fams = Dse.enumerate grid in
+         List.for_all
+           (fun (f : Dse.family) ->
+             f.Dse.f_clusters * f.Dse.f_interleaving <= grid.Dse.max_unroll_cap
+             && List.for_all
+                  (fun (plan, cells) ->
+                    Result.is_ok (Config.validate plan)
+                    && List.for_all
+                         (fun (c, _) -> Result.is_ok (Config.validate c))
+                         cells)
+                  f.Dse.f_levels)
+           fams))
+
+(* ------------------------------------------------------- golden sweeps *)
+
+(* A seconds-scale grid: one plan family (2 clusters, interleave 2)
+   whose 8-bus level compiles rejection-free, so the 16-bus level is
+   prunable. *)
+let tiny_grid =
+  {
+    Dse.clusters = [ 2 ];
+    interleavings = [ 2 ];
+    buses = [ 2; 8; 16 ];
+    occupancies = [ 2 ];
+    cache_sizes = [ 4096 ];
+    associativities = [ 2 ];
+    ab_capacities = [ 0; 16 ];
+    max_unroll_cap = 16;
+  }
+
+let benches = List.map WL.Mediabench.find [ "gsmdec"; "epicdec"; "jpegenc" ]
+
+let with_default_jobs jobs f =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs saved) f
+
+let run_tiny ~jobs ~prune =
+  with_default_jobs jobs (fun () ->
+      Dse.sweep ~grid:tiny_grid ~benches ~prune ~trip_cap:64
+        (Context.create ()))
+
+let frontier_key (r : Dse.cell_result) =
+  ( r.Dse.r_clusters,
+    r.Dse.r_interleaving,
+    r.Dse.r_buses,
+    r.Dse.r_occupancy,
+    r.Dse.r_cache_size,
+    r.Dse.r_associativity,
+    r.Dse.r_ab,
+    r.Dse.r_cycles,
+    r.Dse.r_traffic )
+
+let test_sweep_deterministic_across_jobs () =
+  let a = run_tiny ~jobs:1 ~prune:true in
+  let b = run_tiny ~jobs:2 ~prune:true in
+  check cb "whole result equal at jobs=1 and jobs=2" true (a = b);
+  check ci "frontier non-empty" (List.length a.Dse.frontier)
+    (max 1 (List.length a.Dse.frontier))
+
+let test_prune_preserves_frontier () =
+  let pruned = run_tiny ~jobs:2 ~prune:true in
+  let exhaustive = run_tiny ~jobs:2 ~prune:false in
+  check cb "pruning fired on the tiny grid" true (pruned.Dse.pruned_cells > 0);
+  check ci "exhaustive evaluated every cell" exhaustive.Dse.grid_cells_total
+    (List.length exhaustive.Dse.evaluated);
+  check ci "pruned evaluated fewer cells"
+    (exhaustive.Dse.grid_cells_total - pruned.Dse.pruned_cells)
+    (List.length pruned.Dse.evaluated);
+  (* The guarantee under test: a rejection-free level's higher-bus twins
+     compile byte-identically and cost strictly more, so dropping them
+     never drops a frontier point. *)
+  let key_set r = List.sort compare (List.map frontier_key r.Dse.frontier) in
+  check cb "pruned frontier equals exhaustive frontier" true
+    (key_set pruned = key_set exhaustive)
+
+(* ---------------------------------------------------------------- csv *)
+
+let test_csv_frontier () =
+  let r = run_tiny ~jobs:1 ~prune:true in
+  let dir = Filename.temp_file "dse" "" in
+  Sys.remove dir;
+  let path = Csv_export.frontier ~dir r in
+  let lines =
+    In_channel.with_open_text path In_channel.input_lines
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match lines with
+  | header :: _ ->
+      check cb "header names every swept dimension" true
+        (List.for_all (contains header)
+           [ "clusters"; "buses"; "cache_size"; "cycles"; "traffic"; "cost" ])
+  | [] -> Alcotest.fail "empty csv");
+  check ci "one row per frontier cell"
+    (List.length r.Dse.frontier)
+    (List.length lines - 1);
+  List.iter (fun l -> Sys.remove (Filename.concat dir l))
+    (Array.to_list (Sys.readdir dir));
+  Sys.rmdir dir
+
+let suite =
+  [
+    ("pareto: dominance relation", `Quick, test_dominates);
+    ("pareto: frontier drops dominated, keeps order", `Quick,
+     test_frontier_basic);
+    ("pareto: equal vectors all survive", `Quick, test_frontier_keeps_ties);
+    ("dse: enumerate emits only validate-clean configs (qcheck)", `Quick,
+     test_enumerate_only_valid_configs);
+    ("dse: sweep byte-identical at jobs=1 and jobs=2", `Slow,
+     test_sweep_deterministic_across_jobs);
+    ("dse: pruning never drops a frontier point", `Slow,
+     test_prune_preserves_frontier);
+    ("dse: frontier csv has a row per frontier cell", `Quick,
+     test_csv_frontier);
+  ]

@@ -300,6 +300,7 @@ let compiled_one_load ~assigned ~latency =
         start = [| 0 |]; copies = [] };
     estimated_cycles = 10;
     considered = [];
+    bus_window_rejections = 0;
   }
 
 let test_missed_locality_lint () =

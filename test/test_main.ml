@@ -12,6 +12,7 @@ let () =
       ("disambiguation", Test_disambiguation.suite);
       ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
+      ("dse", Test_dse.suite);
       ("analysis", Test_analysis.suite);
       ("locality", Test_locality.suite);
       ("figures", Test_figures.suite);

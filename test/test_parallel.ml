@@ -12,6 +12,7 @@ module WL = Vliw_workloads
 let check = Alcotest.check
 let cb = Alcotest.bool
 let cs = Alcotest.string
+let ci = Alcotest.int
 let cil = Alcotest.(list int)
 
 (* ----------------------------------------------------------- the pool *)
@@ -148,6 +149,76 @@ let test_memo_contention_raw_domains () =
         (Context.compiled ctx (bench n) spec == cs))
     names disjoint
 
+(* ----------------------------------------------- bounded memo (cap) *)
+
+let test_memo_cap_evicts_fifo () =
+  let memo = Vliw_parallel.Memo.create ~shards:1 ~cap:3 () in
+  let computed = ref 0 in
+  let get k =
+    Vliw_parallel.Memo.get memo k (fun () ->
+        incr computed;
+        String.length k)
+  in
+  List.iter (fun k -> ignore (get k)) [ "a"; "bb"; "ccc"; "dddd"; "eeeee" ];
+  let s = Vliw_parallel.Memo.stats memo in
+  check ci "resident size bounded by cap" 3 s.Vliw_parallel.Memo.size;
+  check ci "two oldest entries evicted" 2 s.Vliw_parallel.Memo.evictions;
+  check ci "five misses" 5 s.Vliw_parallel.Memo.misses;
+  check ci "no hits yet" 0 s.Vliw_parallel.Memo.hits;
+  (* Evicted keys recompute (correctly); resident keys hit. *)
+  check ci "evicted key recomputes the same value" 1 (get "a");
+  check ci "recompute ran" 6 !computed;
+  check ci "resident key answers from the table" 5 (get "eeeee");
+  check ci "hit did not recompute" 6 !computed;
+  let s = Vliw_parallel.Memo.stats memo in
+  check ci "hit counted" 1 s.Vliw_parallel.Memo.hits;
+  check ci "size still bounded" 3 s.Vliw_parallel.Memo.size
+
+let test_memo_cap_contention () =
+  (* Raw domains hammering a memo whose cap is far below the working
+     set: every get must still return the key's own value (an evicted
+     key just recomputes), and the counters must balance. *)
+  let memo = Vliw_parallel.Memo.create ~shards:2 ~cap:4 () in
+  let keys = List.init 16 (fun i -> Printf.sprintf "k%02d" i) in
+  let rounds = 5 in
+  let worker () =
+    List.concat_map
+      (fun _ ->
+        List.map
+          (fun k ->
+            (k, Vliw_parallel.Memo.get memo k (fun () -> "v:" ^ k)))
+          keys)
+      (List.init rounds Fun.id)
+  in
+  let results =
+    List.init 4 (fun _ -> Domain.spawn worker) |> List.concat_map Domain.join
+  in
+  List.iter
+    (fun (k, v) -> check cs "every get returns its key's value" ("v:" ^ k) v)
+    results;
+  let s = Vliw_parallel.Memo.stats memo in
+  check ci "hits + misses = total gets"
+    (4 * rounds * List.length keys)
+    (s.Vliw_parallel.Memo.hits + s.Vliw_parallel.Memo.misses);
+  check cb "size stays within the (rounded-up) cap" true
+    (s.Vliw_parallel.Memo.size <= 4 + 2);
+  check cb "the small cap forced evictions" true
+    (s.Vliw_parallel.Memo.evictions > 0)
+
+let test_context_memo_stats_surface () =
+  (* Context surfaces its two memo tables' counters for the sweep's
+     --json output. *)
+  let ctx = Context.create () in
+  let spec = Context.interleaved `Ipbc in
+  ignore (Context.compiled ctx (bench "gsmdec") spec);
+  ignore (Context.compiled ctx (bench "gsmdec") spec);
+  match List.assoc_opt "compiles" (Context.memo_stats ctx) with
+  | None -> Alcotest.fail "no 'compiles' entry in memo_stats"
+  | Some s ->
+      check ci "one compile resident" 1 s.Vliw_parallel.Memo.size;
+      check ci "second fetch hit" 1 s.Vliw_parallel.Memo.hits;
+      check ci "first fetch missed" 1 s.Vliw_parallel.Memo.misses
+
 (* --------------------------------------------------- determinism *)
 
 let with_default_jobs jobs f =
@@ -201,6 +272,12 @@ let suite =
      test_memo_single_flight);
     ("context: sharded memo holds under raw-domain contention", `Slow,
      test_memo_contention_raw_domains);
+    ("memo: cap evicts FIFO and counts hits/misses/evictions", `Quick,
+     test_memo_cap_evicts_fifo);
+    ("memo: capped memo stays correct under domain contention", `Slow,
+     test_memo_cap_contention);
+    ("context: memo_stats surfaces both tables", `Quick,
+     test_context_memo_stats_surface);
     ("determinism: schedules equal at jobs=1 and jobs=4", `Slow,
      test_schedules_deterministic_across_jobs);
     ("determinism: fig4 byte-identical at jobs=1 and jobs=4", `Slow,

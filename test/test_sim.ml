@@ -105,6 +105,7 @@ let compiled_of ~assigned_latency ~cluster ~granularity ~trip =
         start = [| 0 |]; copies = [] };
     estimated_cycles = trip * 4;
     considered = [];
+    bus_window_rejections = 0;
   }
 
 let run ?attractable ~assigned_latency ~cluster ?(granularity = 4) ?(trip = 10)
@@ -201,6 +202,7 @@ let test_executor_store_never_stalls () =
           start = [| 0 |]; copies = [] };
       estimated_cycles = 40;
       considered = [];
+      bus_window_rejections = 0;
     }
   in
   let machine =
