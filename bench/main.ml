@@ -214,6 +214,31 @@ let timed_explain () =
       Format.pp_print_flush bppf ();
       (Unix.gettimeofday () -. t0, summary))
 
+(* The exact-II oracle on a bounded gap-loop subset (four certifications
+   that all close within the default budget), sequential on a fresh
+   memo.  Budgets are decision counts so the certified results are
+   host-independent; only this wall-clock figure tracks the solver's
+   engineering cost. *)
+let oracle_bench_subset = [ "gsmdec"; "jpegdec"; "rasta" ]
+
+let timed_oracle () =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 1;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      let bppf = Format.formatter_of_buffer buf in
+      let ctx = E.Context.create () in
+      let t0 = Unix.gettimeofday () in
+      let summary =
+        Vliw_analysis.Explain.run_all ~benchmarks:oracle_bench_subset
+          ~oracle_budget:Vliw_analysis.Oracle.default_budget
+          ~oracle_memo:(E.Context.oracle_memo ctx) bppf
+      in
+      Format.pp_print_flush bppf ();
+      (Unix.gettimeofday () -. t0, summary))
+
 let write_bench_json ~estimates =
   let n = max 2 (Pool.default_jobs ()) in
   let effective = Pool.effective_jobs n in
@@ -257,6 +282,24 @@ let write_bench_json ~estimates =
   in
   let analyze_s, analyze_summary = timed_analyze () in
   let explain_s, explain_summary = timed_explain () in
+  let prev_oracle_s = previous_json_float ~key:"oracle_wall_s" in
+  let oracle_s, oracle_summary = timed_oracle () in
+  let oracle_rows = oracle_summary.Vliw_analysis.Explain.leaderboard in
+  let oracle_closed =
+    List.length
+      (List.filter
+         (fun (r : Vliw_analysis.Explain.oracle_row) ->
+           r.Vliw_analysis.Explain.o_cert.Vliw_analysis.Oracle.verdict
+           <> Vliw_analysis.Oracle.Unknown)
+         oracle_rows)
+  in
+  let oracle_unsound =
+    List.length
+      (List.filter
+         (fun (r : Vliw_analysis.Explain.oracle_row) ->
+           not (Vliw_analysis.Oracle.sound r.Vliw_analysis.Explain.o_cert))
+         oracle_rows)
+  in
   let path = "BENCH_compile.json" in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
@@ -308,6 +351,13 @@ let write_bench_json ~estimates =
   p "    \"loops\": %d,\n" explain_summary.Vliw_analysis.Explain.loops;
   p "    \"gaps\": %d,\n" explain_summary.Vliw_analysis.Explain.gaps;
   p "    \"lints\": %d\n" explain_summary.Vliw_analysis.Explain.lints;
+  p "  },\n";
+  p "  \"oracle\": {\n";
+  p "    \"oracle_wall_s\": %.3f,\n" oracle_s;
+  p "    \"benchmarks\": %d,\n" (List.length oracle_bench_subset);
+  p "    \"certified\": %d,\n" (List.length oracle_rows);
+  p "    \"closed\": %d,\n" oracle_closed;
+  p "    \"unsound\": %d\n" oracle_unsound;
   p "  }\n";
   p "}\n";
   close_out oc;
@@ -398,6 +448,25 @@ let write_bench_json ~estimates =
       "*** WARNING: explain sweep (%.2fs) is far slower than the analyze \
        sweep (%.2fs) — the static analyzers have regressed ***@."
       explain_s analyze_s;
+  Format.fprintf ppf
+    "oracle wall-clock: %.2fs sequential on %d benchmarks (%d gap loops \
+     certified, %d closed, %d soundness violations)@."
+    oracle_s
+    (List.length oracle_bench_subset)
+    (List.length oracle_rows) oracle_closed oracle_unsound;
+  (match prev_oracle_s with
+  | Some prev when prev > 0.0 && oracle_s > 1.25 *. prev ->
+      Format.fprintf ppf
+        "*** WARNING: oracle sweep (%.2fs) regressed more than 25%% over \
+         the committed baseline (%.2fs) — the CP solver or its propagators \
+         got slower ***@."
+        oracle_s prev
+  | Some _ | None -> ());
+  if oracle_unsound > 0 then begin
+    Format.fprintf ppf
+      "ERROR: oracle produced %d unsound certifications@." oracle_unsound;
+    exit 1
+  end;
   Format.fprintf ppf "wrote %s@.@." path;
   match par with
   | Some (_, false, _) ->

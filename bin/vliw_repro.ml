@@ -308,13 +308,68 @@ let explain_cmd =
      the unroll candidates weighed by the selective search, and \
      missed-locality lints."
   in
-  let run jobs json names =
+  let oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:
+            "Also certify every loop whose achieved II exceeds its MII \
+             through the exact CP modulo-scheduling oracle and print the \
+             optimality leaderboard (heuristic II / proven optimal II / \
+             verdict). Every SAT witness is re-checked by the deep \
+             schedule verifier; exits non-zero on a soundness violation.")
+  in
+  let oracle_budget_arg =
+    Arg.(
+      value
+      & opt int Vliw_analysis.Oracle.default_budget
+      & info [ "oracle-budget" ] ~docv:"N"
+          ~doc:
+            "Per-II probe budget for the oracle, counted in solver \
+             decisions and conflicts (never wall-clock, so results are \
+             identical across hosts and $(b,--jobs) settings). Implies \
+             $(b,--oracle). Default: 300000.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH"
+          ~doc:
+            "Also write the oracle leaderboard as CSV to $(docv) \
+             (requires $(b,--oracle)).")
+  in
+  let run jobs json oracle oracle_budget csv names =
     apply_jobs jobs;
     let names = validate_benches names in
-    ignore (Vliw_analysis.Explain.run_all ?benchmarks:names ~json ppf)
+    let oracle =
+      oracle || oracle_budget <> Vliw_analysis.Oracle.default_budget
+      || csv <> None
+    in
+    let ctx = E.Context.create () in
+    let summary =
+      Vliw_analysis.Explain.run_all ?benchmarks:names ~json
+        ?oracle_budget:(if oracle then Some oracle_budget else None)
+        ~oracle_memo:(E.Context.oracle_memo ctx)
+        ppf
+    in
+    let rows = summary.Vliw_analysis.Explain.leaderboard in
+    (match csv with
+    | Some path when oracle ->
+        let p = E.Csv_export.leaderboard ~path rows in
+        if not json then Format.fprintf ppf "wrote %s@." p
+    | _ -> ());
+    if
+      List.exists
+        (fun (r : Vliw_analysis.Explain.oracle_row) ->
+          not (Vliw_analysis.Oracle.sound r.Vliw_analysis.Explain.o_cert))
+        rows
+    then exit 1
   in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const run $ jobs_arg $ json_arg $ benches_arg ~what:"explain")
+    Term.(
+      const run $ jobs_arg $ json_arg $ oracle_arg $ oracle_budget_arg
+      $ csv_arg $ benches_arg ~what:"explain")
 
 (* --------------------------------------------------------------- sweep *)
 

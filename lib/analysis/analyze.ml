@@ -212,7 +212,9 @@ let print_json ppf ~verbose ~config_diags ~results ~all_diags summary =
   let diags =
     List.filter (fun d -> verbose || d.D.severity <> D.Info) all_diags
   in
-  Format.fprintf ppf "{@.  %s,@." (summary_json "summary" summary);
+  Format.fprintf ppf "{@.  \"schema_version\": %d,@.  %s,@."
+    Explain.schema_version
+    (summary_json "summary" summary);
   Format.fprintf ppf "  \"config_ok\": %b,@."
     (not (D.has_errors config_diags));
   Format.fprintf ppf "  \"benchmarks\": [@.";

@@ -29,12 +29,8 @@ type report = {
 }
 
 let cdiv a b = (a + b - 1) / b
-let fu_classes = [ Opcode.Int_fu; Opcode.Fp_fu; Opcode.Mem_fu ]
-
-let fu_capacity (cfg : Config.t) = function
-  | Opcode.Int_fu -> cfg.Config.int_fus_per_cluster
-  | Opcode.Fp_fu -> cfg.Config.fp_fus_per_cluster
-  | Opcode.Mem_fu -> cfg.Config.mem_fus_per_cluster
+let fu_classes = Resources.fu_classes
+let fu_capacity = Resources.fu_capacity
 
 let fu_name = function
   | Opcode.Int_fu -> "int FUs"

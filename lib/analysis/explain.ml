@@ -14,9 +14,30 @@ type loop_report = {
   attribution : Attribution.report;
   locality : Locality.bounds option;
   lints : D.t list;
+  oracle : Oracle.certification option;
+      (** exact-scheduling certificate, for II>MII loops when requested *)
 }
 
-type summary = { benchmarks : int; loops : int; gaps : int; lints : int }
+type oracle_row = {
+  o_bench : string;
+  o_loop : string;
+  o_target : string;
+  o_unroll : int;
+  o_attr_mii : int;
+  o_cert : Oracle.certification;
+}
+
+type summary = {
+  benchmarks : int;
+  loops : int;
+  gaps : int;
+  lints : int;
+  leaderboard : oracle_row list;  (** [] unless the oracle ran *)
+}
+
+(* JSON consumers key off this to detect the leaderboard extension.
+   Version 2: added schema_version itself and the "leaderboard" array. *)
+let schema_version = 2
 
 (* The compile targets of the [analyze] matrix (the simulation backends
    are irrelevant here — explain never simulates). *)
@@ -28,7 +49,9 @@ let targets =
     Pipeline.Multivliw;
   ]
 
-let explain_bench cfg ~seed (bench : WL.Benchspec.t) =
+let explain_bench cfg ~seed ?oracle_budget
+    ?(oracle_memo = fun (_ : string) f -> f ())
+    (bench : WL.Benchspec.t) =
   let profile_layout =
     WL.Layout.create cfg ~aligned:true ~run:WL.Layout.Profile_run ~seed
   in
@@ -55,15 +78,39 @@ let explain_bench cfg ~seed (bench : WL.Benchspec.t) =
                 Some (Locality.analyze cfg exec_layout c)
             | Pipeline.Unified _ | Pipeline.Multivliw -> None
           in
+          let attribution = Attribution.attribute cfg c in
+          let oracle =
+            match oracle_budget with
+            | Some budget
+              when attribution.Attribution.ii > attribution.Attribution.mii ->
+                let ddg = c.Pipeline.loop.Loop.ddg in
+                let latencies = c.Pipeline.latencies in
+                let key =
+                  Printf.sprintf "oracle|%s|%s|%s|seed=%d|budget=%d|cfg=%s"
+                    bench.WL.Benchspec.name loop.Loop.name
+                    (Pipeline.target_to_string target)
+                    seed budget (Config.fingerprint cfg)
+                in
+                Some
+                  (oracle_memo key (fun () ->
+                       Oracle.certify cfg ddg
+                         ~latency:(fun i -> latencies.(i))
+                         ~allow_cross_cluster_mem:
+                           (Pipeline.allow_cross_cluster_mem target)
+                         ~budget
+                         ~heuristic_ii:attribution.Attribution.ii ()))
+            | _ -> None
+          in
           {
             bench = bench.WL.Benchspec.name;
             loop = loop.Loop.name;
             target;
             unroll_factor = c.Pipeline.unroll_factor;
             considered = c.Pipeline.considered;
-            attribution = Attribution.attribute cfg c;
+            attribution;
             locality;
             lints = Attribution.missed_locality cfg exec_layout ~where c;
+            oracle;
           })
         (WL.Benchspec.loops bench))
     targets
@@ -134,17 +181,97 @@ let json_of_loop (r : loop_report) =
     (D.json_escape a.Attribution.binding)
     budget locality lints
 
+(* ------------------------------------------------------- leaderboard *)
+
+let row_of_report (r : loop_report) cert =
+  {
+    o_bench = r.bench;
+    o_loop = r.loop;
+    o_target = Pipeline.target_to_string r.target;
+    o_unroll = r.unroll_factor;
+    o_attr_mii = r.attribution.Attribution.mii;
+    o_cert = cert;
+  }
+
+let proven_label (c : Oracle.certification) =
+  match c.Oracle.minimal_ii with
+  | Some m -> string_of_int m
+  | None ->
+      Printf.sprintf "[%d,%d]" c.Oracle.infeasible_below c.Oracle.heuristic_ii
+
+let pp_leaderboard ppf rows ~budget =
+  Format.fprintf ppf
+    "optimality leaderboard (%d loops with II>MII, budget=%d \
+     decisions/conflicts per II probe):@."
+    (List.length rows) budget;
+  Format.fprintf ppf "  %-10s %-12s %-22s %3s %3s %6s %-8s %s@." "bench"
+    "loop" "target" "UF" "II" "floor" "proven" "verdict";
+  List.iter
+    (fun row ->
+      let c = row.o_cert in
+      Format.fprintf ppf "  %-10s %-12s %-22s %3d %3d %6d %-8s %s%s@."
+        row.o_bench row.o_loop row.o_target row.o_unroll
+        c.Oracle.heuristic_ii c.Oracle.floor (proven_label c)
+        (Oracle.verdict_to_string c.Oracle.verdict)
+        (if Oracle.sound c then "" else "  SOUNDNESS VIOLATION"))
+    rows
+
+let json_of_row row =
+  let c = row.o_cert in
+  let witness =
+    match c.Oracle.witness with
+    | None -> "null"
+    | Some _ ->
+        Printf.sprintf {|{"errors":%d,"warnings":%d}|}
+          (D.n_errors c.Oracle.witness_diags)
+          (D.n_warnings c.Oracle.witness_diags)
+  in
+  let probes =
+    String.concat ","
+      (List.map
+         (fun (p : Oracle.probe) ->
+           Printf.sprintf
+             {|{"ii":%d,"result":"%s","decisions":%d,"conflicts":%d}|}
+             p.Oracle.p_ii
+             (match p.Oracle.p_sat with
+             | Oracle.Feasible _ -> "sat"
+             | Oracle.Infeasible -> "unsat"
+             | Oracle.Out_of_budget -> "budget")
+             p.Oracle.p_stats.Cpsolver.decisions
+             p.Oracle.p_stats.Cpsolver.conflicts)
+         c.Oracle.probes)
+  in
+  Printf.sprintf
+    {|{"bench":"%s","loop":"%s","target":"%s","unroll":%d,"heuristic_ii":%d,"attribution_mii":%d,"floor":%d,"minimal_ii":%s,"infeasible_below":%d,"verdict":"%s","witness":%s,"probes":[%s],"decisions":%d,"conflicts":%d,"sound":%b}|}
+    (D.json_escape row.o_bench) (D.json_escape row.o_loop)
+    (D.json_escape row.o_target) row.o_unroll c.Oracle.heuristic_ii
+    row.o_attr_mii c.Oracle.floor
+    (match c.Oracle.minimal_ii with
+    | Some m -> string_of_int m
+    | None -> "null")
+    c.Oracle.infeasible_below
+    (Oracle.verdict_to_string c.Oracle.verdict)
+    witness probes c.Oracle.decisions c.Oracle.conflicts (Oracle.sound c)
+
 let run_all ?(cfg = Config.default) ?(seed = 7) ?benchmarks ?(json = false)
-    ppf =
+    ?oracle_budget
+    ?(oracle_memo = fun (_ : string) f -> f ()) ppf =
   let benches =
     match benchmarks with
     | None -> WL.Mediabench.all
     | Some names -> List.map WL.Mediabench.find names
   in
   let per_bench =
-    Pool.map_ordered (fun b -> explain_bench cfg ~seed b) benches
+    Pool.map_ordered
+      (fun b -> explain_bench cfg ~seed ?oracle_budget ~oracle_memo b)
+      benches
   in
   let reports = List.concat per_bench in
+  let leaderboard =
+    List.filter_map
+      (fun r -> Option.map (row_of_report r) r.oracle)
+      reports
+  in
   let summary =
     {
       benchmarks = List.length benches;
@@ -160,19 +287,28 @@ let run_all ?(cfg = Config.default) ?(seed = 7) ?benchmarks ?(json = false)
         List.fold_left
           (fun acc (r : loop_report) -> acc + List.length r.lints)
           0 reports;
+      leaderboard;
     }
   in
   if json then begin
     Format.fprintf ppf
-      "{@.  \"summary\": \
+      "{@.  \"schema_version\": %d,@.  \"summary\": \
        {\"benchmarks\":%d,\"loops\":%d,\"gaps\":%d,\"lints\":%d},@."
-      summary.benchmarks summary.loops summary.gaps summary.lints;
+      schema_version summary.benchmarks summary.loops summary.gaps
+      summary.lints;
     Format.fprintf ppf "  \"loops\": [@.";
     List.iteri
       (fun i r ->
         Format.fprintf ppf "    %s%s@." (json_of_loop r)
           (if i < List.length reports - 1 then "," else ""))
       reports;
+    Format.fprintf ppf "  ],@.";
+    Format.fprintf ppf "  \"leaderboard\": [@.";
+    List.iteri
+      (fun i row ->
+        Format.fprintf ppf "    %s%s@." (json_of_row row)
+          (if i < List.length leaderboard - 1 then "," else ""))
+      leaderboard;
     Format.fprintf ppf "  ]@.}@."
   end
   else begin
@@ -188,9 +324,36 @@ let run_all ?(cfg = Config.default) ?(seed = 7) ?benchmarks ?(json = false)
                 List.iter (fun d -> Format.fprintf ppf "%a@." D.pp d) r.lints)
               bench_reports)
       per_bench;
+    (match oracle_budget with
+    | Some budget when leaderboard <> [] ->
+        pp_leaderboard ppf leaderboard ~budget
+    | _ -> ());
     Format.fprintf ppf
       "explain: %d benchmarks, %d loop reports, %d with II above MII, %d \
        missed-locality lints@."
-      summary.benchmarks summary.loops summary.gaps summary.lints
+      summary.benchmarks summary.loops summary.gaps summary.lints;
+    match oracle_budget with
+    | Some _ ->
+        let count v =
+          List.length
+            (List.filter
+               (fun row -> row.o_cert.Oracle.verdict = v)
+               leaderboard)
+        in
+        let unsound =
+          List.length
+            (List.filter (fun row -> not (Oracle.sound row.o_cert)) leaderboard)
+        in
+        Format.fprintf ppf
+          "oracle: %d/%d closed (%d optimal, %d hardware-bound, %d \
+           heuristic-gap, %d unknown), %d soundness violations@."
+          (List.length leaderboard - count Oracle.Unknown)
+          (List.length leaderboard)
+          (count Oracle.Optimal)
+          (count Oracle.Hardware_bound)
+          (count Oracle.Heuristic_gap)
+          (count Oracle.Unknown)
+          unsound
+    | None -> ()
   end;
   summary

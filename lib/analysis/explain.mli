@@ -21,6 +21,17 @@ type loop_report = {
       (** [None] for targets without cluster-locality (unified,
           multiVLIW) *)
   lints : Diagnostic.t list;  (** missed-locality warnings *)
+  oracle : Oracle.certification option;
+      (** present when the oracle ran and this loop had II > MII *)
+}
+
+type oracle_row = {
+  o_bench : string;
+  o_loop : string;
+  o_target : string;
+  o_unroll : int;
+  o_attr_mii : int;  (** the attribution tower's MII (incl. anti/out) *)
+  o_cert : Oracle.certification;
 }
 
 type summary = {
@@ -28,22 +39,42 @@ type summary = {
   loops : int;
   gaps : int;  (** loops whose achieved II exceeds their MII *)
   lints : int;
+  leaderboard : oracle_row list;
+      (** one row per II>MII loop when the oracle ran; [] otherwise *)
 }
 
+val schema_version : int
+(** Version stamp of the [explain --json] (and [analyze --json])
+    document shape; bumped on any breaking field change. *)
+
 val explain_bench :
-  Vliw_arch.Config.t -> seed:int -> Vliw_workloads.Benchspec.t ->
+  Vliw_arch.Config.t ->
+  seed:int ->
+  ?oracle_budget:int ->
+  ?oracle_memo:
+    (string -> (unit -> Oracle.certification) -> Oracle.certification) ->
+  Vliw_workloads.Benchspec.t ->
   loop_report list
 (** All loop reports of one benchmark, every target of the [analyze]
-    matrix, loops in program order. *)
+    matrix, loops in program order.  When [oracle_budget] is given, each
+    II>MII loop is certified through {!Oracle.certify} (memoized via
+    [oracle_memo], keyed on bench/loop/target/seed/budget/config). *)
 
 val run_all :
   ?cfg:Vliw_arch.Config.t ->
   ?seed:int ->
   ?benchmarks:string list ->
   ?json:bool ->
+  ?oracle_budget:int ->
+  ?oracle_memo:
+    (string -> (unit -> Oracle.certification) -> Oracle.certification) ->
   Format.formatter ->
   summary
 (** Explain the given benchmarks (default: the whole suite); benchmarks
     run through the parallel domain pool, output is deterministic.
     [json] emits one machine-readable JSON document instead of the
-    table. *)
+    table.  [oracle_budget] switches the optimality leaderboard on: per
+    II>MII loop, heuristic II / proven optimal II / verdict, with
+    deterministic decision-count budgets so the output is byte-identical
+    for any [--jobs].  [oracle_memo] (default: compute directly) lets
+    the caller back certifications with a cache. *)

@@ -17,6 +17,9 @@ type t = {
   compiles : Pipeline.compiled list Memo.t;
   traces : int array Memo.t;
       (* per-plan address traces, keyed by (compile key, loop index) *)
+  oracles : Vliw_analysis.Oracle.certification Memo.t;
+      (* exact-II certifications, keyed by
+         bench/loop/target/seed/budget/config — see Explain.explain_bench *)
 }
 
 (* Default memo bounds: far above what any single-figure run touches
@@ -26,6 +29,7 @@ type t = {
    recompute, so results never depend on the caps. *)
 let default_compile_cap = 1024
 let default_trace_cap = 8192
+let default_oracle_cap = 1024
 
 let create ?(cfg = Config.default) ?(seed = 7)
     ?(compile_cap = default_compile_cap) ?(trace_cap = default_trace_cap) () =
@@ -34,6 +38,7 @@ let create ?(cfg = Config.default) ?(seed = 7)
     seed;
     compiles = Memo.create ~cap:compile_cap ();
     traces = Memo.create ~cap:trace_cap ();
+    oracles = Memo.create ~cap:default_oracle_cap ();
   }
 
 let cfg t = t.cfg
@@ -45,7 +50,17 @@ let cfg t = t.cfg
 let with_cfg t cfg = { t with cfg }
 
 let memo_stats t =
-  [ ("compiles", Memo.stats t.compiles); ("traces", Memo.stats t.traces) ]
+  [
+    ("compiles", Memo.stats t.compiles);
+    ("traces", Memo.stats t.traces);
+    ("oracles", Memo.stats t.oracles);
+  ]
+
+(* The explain driver threads this through its workers so a (loop,
+   budget, config) certification is only ever searched once per process,
+   whatever --jobs is; single-flight means concurrent requesters of the
+   same key block on one search rather than racing it. *)
+let oracle_memo t key f = Memo.get t.oracles key f
 
 type spec = {
   target : Pipeline.target;

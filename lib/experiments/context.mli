@@ -40,8 +40,20 @@ val with_cfg : t -> Vliw_arch.Config.t -> t
     Safe because every memo key embeds the config fingerprint. *)
 
 val memo_stats : t -> (string * Vliw_parallel.Memo.stats) list
-(** Hit/miss/eviction counters and resident sizes of the compile and
-    address-trace memos (labelled ["compiles"] and ["traces"]). *)
+(** Hit/miss/eviction counters and resident sizes of the compile,
+    address-trace and oracle memos (labelled ["compiles"], ["traces"]
+    and ["oracles"]). *)
+
+val oracle_memo :
+  t ->
+  string ->
+  (unit -> Vliw_analysis.Oracle.certification) ->
+  Vliw_analysis.Oracle.certification
+(** Single-flight memo for exact-II certifications, for threading into
+    {!Vliw_analysis.Explain.run_all} as its [oracle_memo] — a given
+    (bench, loop, target, seed, budget, config) key is searched at most
+    once per process regardless of [--jobs].  The key is built by the
+    explain driver and already embeds the config fingerprint. *)
 
 type spec = {
   target : Vliw_core.Pipeline.target;

@@ -77,6 +77,31 @@ let frontier ~dir (r : Dse.result) =
   in
   write_table ~dir t
 
+(* The oracle leaderboard as one CSV at an explicit path (explain
+   --csv).  Mixed string/int cells, so it bypasses the float-typed
+   Table and writes rows directly; fields here never need quoting
+   (bench/loop/target/verdict are [a-z0-9_-] identifiers). *)
+let leaderboard ~path rows =
+  let oc = open_out path in
+  output_string oc
+    "bench,loop,target,unroll,heuristic_ii,attribution_mii,floor,minimal_ii,infeasible_below,verdict,witness_errors,decisions,conflicts,sound\n";
+  List.iter
+    (fun (row : Vliw_analysis.Explain.oracle_row) ->
+      let c = row.Vliw_analysis.Explain.o_cert in
+      let module O = Vliw_analysis.Oracle in
+      Printf.fprintf oc "%s,%s,%s,%d,%d,%d,%d,%s,%d,%s,%d,%d,%d,%b\n"
+        row.Vliw_analysis.Explain.o_bench row.Vliw_analysis.Explain.o_loop
+        row.Vliw_analysis.Explain.o_target row.Vliw_analysis.Explain.o_unroll
+        c.O.heuristic_ii row.Vliw_analysis.Explain.o_attr_mii c.O.floor
+        (match c.O.minimal_ii with Some m -> string_of_int m | None -> "")
+        c.O.infeasible_below
+        (O.verdict_to_string c.O.verdict)
+        (Vliw_analysis.Diagnostic.n_errors c.O.witness_diags)
+        c.O.decisions c.O.conflicts (O.sound c))
+    rows;
+  close_out oc;
+  path
+
 let run ppf ctx =
   let paths = export ~dir:"results" ctx in
   Format.fprintf ppf "wrote %d CSV files:@." (List.length paths);

@@ -28,6 +28,14 @@ type hooks = {
 val default_hooks : hooks
 (** Every node [Free], no state. *)
 
+val memory_components : Vliw_ir.Ddg.t -> int array * int
+(** The paper's memory-dependence chains: connected components of the
+    operations under [Mem_*] edges.  Returns a dense component id per
+    operation ([-1] for non-memory operations) and the component count.
+    All members of a component must share a cluster when the target
+    serializes memory per cluster; the engine pins them up front, and
+    the exact-scheduling oracle merges their cluster variables. *)
+
 val schedule :
   Vliw_arch.Config.t ->
   Vliw_ir.Ddg.t ->

@@ -4,6 +4,12 @@ module Opcode = Vliw_ir.Opcode
 module Operation = Vliw_ir.Operation
 
 let cdiv a b = (a + b - 1) / b
+let fu_classes = [ Opcode.Int_fu; Opcode.Fp_fu; Opcode.Mem_fu ]
+
+let fu_capacity (cfg : Config.t) = function
+  | Opcode.Int_fu -> cfg.Config.int_fus_per_cluster
+  | Opcode.Fp_fu -> cfg.Config.fp_fus_per_cluster
+  | Opcode.Mem_fu -> cfg.Config.mem_fus_per_cluster
 
 let res_mii (cfg : Config.t) ddg =
   let n_int = ref 0 and n_fp = ref 0 and n_mem = ref 0 in

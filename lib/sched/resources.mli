@@ -1,4 +1,13 @@
-(** Resource-constrained minimum initiation interval. *)
+(** Resource-constrained minimum initiation interval, and the per-cluster
+    resource facts every resource-aware analysis shares (the attribution
+    tower and the exact-scheduling oracle both consume these rather than
+    re-deriving the [Config] field mapping). *)
+
+val fu_classes : Vliw_ir.Opcode.fu_class list
+(** All functional-unit classes, in canonical order. *)
+
+val fu_capacity : Vliw_arch.Config.t -> Vliw_ir.Opcode.fu_class -> int
+(** Units of one class in each cluster. *)
 
 val res_mii : Vliw_arch.Config.t -> Vliw_ir.Ddg.t -> int
 (** Max over functional-unit classes of

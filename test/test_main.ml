@@ -14,6 +14,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("dse", Test_dse.suite);
       ("analysis", Test_analysis.suite);
+      ("oracle", Test_oracle.suite);
       ("locality", Test_locality.suite);
       ("figures", Test_figures.suite);
       ("properties", Test_props.suite);
