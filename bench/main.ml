@@ -239,6 +239,82 @@ let timed_oracle () =
       Format.pp_print_flush bppf ();
       (Unix.gettimeofday () -. t0, summary))
 
+(* The resident compile service, end to end: a pipelined client drives
+   thousands of mixed requests (health probes, compiles and batched
+   simulations that hit the shared memos after their first occurrence)
+   through [Serve.run] on a pipe-pair stdio transport.  The server runs
+   in its own domain at jobs=1 — the figure tracks the per-request
+   overhead of the service loop itself (decode, dispatch, in-order
+   emission), which is what a resident service must keep flat.
+   Wall-times are enabled so every response carries its handler-side
+   ["ms"] figure; p99 over those is the tail-latency trajectory key. *)
+let serve_request_count = 2400
+
+let timed_serve () =
+  let module Serve = Vliw_service.Serve in
+  let module Proto = Vliw_service.Proto in
+  let mix =
+    [|
+      {|{"req":"health"}|};
+      {|{"req":"compile","bench":"gsmdec"}|};
+      {|{"req":"simulate","bench":"gsmdec","trip_cap":32}|};
+      {|{"req":"compile","bench":"rasta"}|};
+      {|{"req":"simulate","bench":"rasta","arch":"interleaved+ab","trip_cap":32}|};
+      {|{"req":"compile","bench":"gsmdec","heuristic":"ibc"}|};
+    |]
+  in
+  let r, w = Unix.pipe () in
+  let path = Filename.temp_file "vliw_bench_serve" ".out" in
+  let out = open_out path in
+  let t0 = Unix.gettimeofday () in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.run ~jobs:1 ~wall_times:true ~input:r ~output:out ())
+  in
+  let send line =
+    let line = line ^ "\n" in
+    let len = String.length line in
+    let sent = ref 0 in
+    while !sent < len do
+      sent := !sent + Unix.write_substring w line !sent (len - !sent)
+    done
+  in
+  for i = 0 to serve_request_count - 1 do
+    send mix.(i mod Array.length mix)
+  done;
+  send {|{"req":"drain"}|};
+  Unix.close w;
+  let outcome = Domain.join server in
+  let wall = Unix.gettimeofday () -. t0 in
+  Unix.close r;
+  close_out out;
+  (* Handler-side latency distribution from the per-response ms field. *)
+  let ms = ref [] in
+  In_channel.with_open_text path (fun ic ->
+      try
+        while true do
+          match Proto.parse (input_line ic) with
+          | Ok (Proto.Obj fields) -> (
+              match List.assoc_opt "ms" fields with
+              | Some (Proto.Float v) -> ms := v :: !ms
+              | Some (Proto.Int v) -> ms := float_of_int v :: !ms
+              | _ -> ())
+          | Ok _ | Error _ -> ()
+        done
+      with End_of_file -> ());
+  Sys.remove path;
+  let lat = Array.of_list !ms in
+  Array.sort compare lat;
+  let p99 =
+    if Array.length lat = 0 then 0.0
+    else lat.(min (Array.length lat - 1) (Array.length lat * 99 / 100))
+  in
+  let rps =
+    if wall > 0.0 then float_of_int outcome.Serve.counters.Serve.accepted /. wall
+    else 0.0
+  in
+  (wall, rps, p99, outcome)
+
 let write_bench_json ~estimates =
   let n = max 2 (Pool.default_jobs ()) in
   let effective = Pool.effective_jobs n in
@@ -284,6 +360,9 @@ let write_bench_json ~estimates =
   let explain_s, explain_summary = timed_explain () in
   let prev_oracle_s = previous_json_float ~key:"oracle_wall_s" in
   let oracle_s, oracle_summary = timed_oracle () in
+  let prev_serve_rps = previous_json_float ~key:"serve_req_per_s" in
+  let prev_serve_p99 = previous_json_float ~key:"serve_p99_ms" in
+  let serve_wall, serve_rps, serve_p99, serve_outcome = timed_serve () in
   let oracle_rows = oracle_summary.Vliw_analysis.Explain.leaderboard in
   let oracle_closed =
     List.length
@@ -358,6 +437,16 @@ let write_bench_json ~estimates =
   p "    \"certified\": %d,\n" (List.length oracle_rows);
   p "    \"closed\": %d,\n" oracle_closed;
   p "    \"unsound\": %d\n" oracle_unsound;
+  p "  },\n";
+  let sc = serve_outcome.Vliw_service.Serve.counters in
+  p "  \"serve\": {\n";
+  p "    \"wall_s\": %.3f,\n" serve_wall;
+  p "    \"requests\": %d,\n" sc.Vliw_service.Serve.accepted;
+  p "    \"ok\": %d,\n" sc.Vliw_service.Serve.ok;
+  p "    \"errors\": %d,\n" sc.Vliw_service.Serve.errors;
+  p "    \"internal_errors\": %d,\n" sc.Vliw_service.Serve.internal_errors;
+  p "    \"serve_req_per_s\": %.1f,\n" serve_rps;
+  p "    \"serve_p99_ms\": %.3f\n" serve_p99;
   p "  }\n";
   p "}\n";
   close_out oc;
@@ -467,6 +556,41 @@ let write_bench_json ~estimates =
       "ERROR: oracle produced %d unsound certifications@." oracle_unsound;
     exit 1
   end;
+  let sc = serve_outcome.Vliw_service.Serve.counters in
+  Format.fprintf ppf
+    "serve: %d mixed requests in %.2fs at jobs=1 (%.0f req/s, p99 handler \
+     latency %.2f ms)@."
+    sc.Vliw_service.Serve.accepted serve_wall serve_rps serve_p99;
+  (* The drive mix is entirely well-formed, so anything but "ok" means
+     the service loop itself regressed. *)
+  if
+    sc.Vliw_service.Serve.errors > 0
+    || sc.Vliw_service.Serve.internal_errors > 0
+    || sc.Vliw_service.Serve.timeouts > 0
+    || sc.Vliw_service.Serve.shed > 0
+  then begin
+    Format.fprintf ppf
+      "ERROR: serve bench saw non-ok responses on a well-formed mix \
+       (errors=%d internal=%d timeouts=%d shed=%d)@."
+      sc.Vliw_service.Serve.errors sc.Vliw_service.Serve.internal_errors
+      sc.Vliw_service.Serve.timeouts sc.Vliw_service.Serve.shed;
+    exit 1
+  end;
+  (match prev_serve_rps with
+  | Some prev when prev > 0.0 && serve_rps < 0.75 *. prev ->
+      Format.fprintf ppf
+        "*** WARNING: serve throughput (%.0f req/s) regressed more than \
+         25%% below the committed baseline (%.0f req/s) — the service \
+         loop's per-request overhead grew ***@."
+        serve_rps prev
+  | Some _ | None -> ());
+  (match prev_serve_p99 with
+  | Some prev when prev > 0.0 && serve_p99 > 1.25 *. prev ->
+      Format.fprintf ppf
+        "*** WARNING: serve p99 handler latency (%.2f ms) regressed more \
+         than 25%% over the committed baseline (%.2f ms) ***@."
+        serve_p99 prev
+  | Some _ | None -> ());
   Format.fprintf ppf "wrote %s@.@." path;
   match par with
   | Some (_, false, _) ->
@@ -668,6 +792,19 @@ let experiments ctx =
     ("ablation-unroll", fun () -> E.Ablation_unroll.run ppf ctx);
     ("csv", fun () -> E.Csv_export.run ppf ctx);
     ("sim-smoke", fun () -> sim_smoke ());
+    ( "serve",
+      fun () ->
+        let wall, rps, p99, outcome = timed_serve () in
+        let c = outcome.Vliw_service.Serve.counters in
+        Format.fprintf ppf
+          "%d mixed requests in %.2fs at jobs=1: %.0f req/s, p99 handler \
+           latency %.2f ms (ok=%d errors=%d timeouts=%d internal=%d \
+           shed=%d, drained by %s)@."
+          c.Vliw_service.Serve.accepted wall rps p99
+          c.Vliw_service.Serve.ok c.Vliw_service.Serve.errors
+          c.Vliw_service.Serve.timeouts
+          c.Vliw_service.Serve.internal_errors c.Vliw_service.Serve.shed
+          outcome.Vliw_service.Serve.reason );
     ("perf", perf);
   ]
 

@@ -505,6 +505,129 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc)
     Term.(const run $ bench_arg $ loop_arg $ heuristic_arg $ strategy_arg)
 
+(* --------------------------------------------------------------- serve *)
+
+let serve_cmd =
+  let doc =
+    "Run the resident compile service: a long-lived loop reading \
+     newline-delimited JSON requests (compile / simulate / analyze / \
+     explain / oracle / sweep-cell / health / drain) and writing one JSON \
+     response line per request, sharing one compile/trace/oracle memo \
+     context across the whole session. Robust by contract: malformed \
+     input gets structured errors, deadlines are deterministic work-unit \
+     budgets, worker crashes are isolated, the dispatch queue sheds under \
+     overload, and SIGINT drains gracefully."
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket instead of stdin/stdout; each \
+             accepted connection is served as one session (sequentially), \
+             sharing the memo context across sessions.")
+  in
+  let serve_jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains serving requests concurrently (default 1: \
+             handle requests inline). Responses are emitted in request \
+             order at any setting.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int 128
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Dispatch-queue bound when $(b,--jobs) > 1; requests beyond it \
+             are shed with an \"overloaded\" response.")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos" ] ~docv:"SEED"
+          ~doc:
+            "Deterministic fault injection: corrupt/crash/exhaust/shed a \
+             seeded ~1/3 of requests to prove every failure path yields a \
+             structured response. Same seed, same faults, every host.")
+  in
+  let times_arg =
+    Arg.(
+      value & flag
+      & info [ "times" ]
+          ~doc:
+            "Add wall-clock \"ms\" fields to responses and the queue \
+             high-watermark to the drained line (off by default: \
+             wall-clock breaks replay byte-identity).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"UNITS"
+          ~doc:
+            "Default per-request deadline in deterministic work units for \
+             requests that carry no \"deadline\" field (default: \
+             effectively unbounded).")
+  in
+  let run socket jobs queue chaos times deadline =
+    let drain_flag = Atomic.make false in
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Atomic.set drain_flag true));
+    let ctx = E.Context.create () in
+    let session ~input ~output =
+      Vliw_service.Serve.run ~jobs ~queue_cap:queue ?chaos ~wall_times:times
+        ?default_deadline:deadline ~drain_flag ~ctx ~input ~output ()
+    in
+    match socket with
+    | None ->
+        let outcome = session ~input:Unix.stdin ~output:stdout in
+        Printf.eprintf "serve: drained (%s), %d requests\n%!"
+          outcome.Vliw_service.Serve.reason
+          outcome.Vliw_service.Serve.counters.Vliw_service.Serve.accepted
+    | Some path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 8;
+        Printf.eprintf "serve: listening on %s\n%!" path;
+        let rec accept_loop () =
+          if Atomic.get drain_flag then ()
+          else begin
+            (* Poll the listener so SIGINT is honoured while idle. *)
+            match Unix.select [ sock ] [] [] 0.5 with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+            | [], _, _ -> accept_loop ()
+            | _ -> (
+                match Unix.accept sock with
+                | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                    accept_loop ()
+                | fd, _ ->
+                    let output = Unix.out_channel_of_descr fd in
+                    let outcome = session ~input:fd ~output in
+                    Printf.eprintf "serve: session drained (%s), %d requests\n%!"
+                      outcome.Vliw_service.Serve.reason
+                      outcome.Vliw_service.Serve.counters
+                        .Vliw_service.Serve.accepted;
+                    (try close_out output with Sys_error _ -> ());
+                    accept_loop ())
+          end
+        in
+        accept_loop ();
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        (try Unix.unlink path with Unix.Unix_error _ -> ())
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ serve_jobs_arg $ queue_arg $ chaos_arg
+      $ times_arg $ deadline_arg)
+
 (* ---------------------------------------------------------------- main *)
 
 let () =
@@ -518,5 +641,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; config_cmd; experiment_cmd; compile_cmd; run_cmd;
-            analyze_cmd; explain_cmd; sweep_cmd; dot_cmd;
+            analyze_cmd; explain_cmd; sweep_cmd; serve_cmd; dot_cmd;
           ]))

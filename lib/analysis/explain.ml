@@ -36,8 +36,12 @@ type summary = {
 }
 
 (* JSON consumers key off this to detect the leaderboard extension.
-   Version 2: added schema_version itself and the "leaderboard" array. *)
-let schema_version = 2
+   Version 2: added schema_version itself and the "leaderboard" array.
+   Version 3: each loop object carries an "oracle" field — null when the
+   oracle was not attempted for that loop, otherwise a certificate
+   summary — so budget exhaustion ("unknown(budget)" with work spent and
+   the floor proven so far) is distinguishable from "not attempted". *)
+let schema_version = 3
 
 (* The compile targets of the [analyze] matrix (the simulation backends
    are irrelevant here — explain never simulates). *)
@@ -168,8 +172,20 @@ let json_of_loop (r : loop_report) =
           b.Locality.trip_local b.Locality.trip_remote b.Locality.trip_total
   in
   let lints = String.concat "," (List.map D.to_json r.lints) in
+  let oracle =
+    match r.oracle with
+    | None -> "null" (* not attempted: no budget given or II = MII *)
+    | Some c ->
+        Printf.sprintf
+          {|{"verdict":"%s","minimal_ii":%s,"proven_floor":%d,"decisions":%d,"conflicts":%d}|}
+          (Oracle.verdict_to_string c.Oracle.verdict)
+          (match c.Oracle.minimal_ii with
+          | Some m -> string_of_int m
+          | None -> "null")
+          c.Oracle.infeasible_below c.Oracle.decisions c.Oracle.conflicts
+  in
   Printf.sprintf
-    {|{"bench":"%s","loop":"%s","target":"%s","unroll":%d,"considered":[%s],"ii":%d,"mii":%d,"mii_floor":%d,"rec_mii":%d,"rec_mii_floor":%d,"res_mii":%d,"cluster_bound":%s,"copy_bound":%s,"bus_bound":%d,"binding":"%s","budget":[%s],"locality":%s,"lints":[%s]}|}
+    {|{"bench":"%s","loop":"%s","target":"%s","unroll":%d,"considered":[%s],"ii":%d,"mii":%d,"mii_floor":%d,"rec_mii":%d,"rec_mii_floor":%d,"res_mii":%d,"cluster_bound":%s,"copy_bound":%s,"bus_bound":%d,"binding":"%s","budget":[%s],"locality":%s,"lints":[%s],"oracle":%s}|}
     (D.json_escape r.bench) (D.json_escape r.loop)
     (D.json_escape (Pipeline.target_to_string r.target))
     r.unroll_factor considered a.Attribution.ii a.Attribution.mii
@@ -179,7 +195,7 @@ let json_of_loop (r : loop_report) =
     (bound a.Attribution.copy_bound)
     a.Attribution.bus_bound
     (D.json_escape a.Attribution.binding)
-    budget locality lints
+    budget locality lints oracle
 
 (* ------------------------------------------------------- leaderboard *)
 
@@ -209,10 +225,22 @@ let pp_leaderboard ppf rows ~budget =
   List.iter
     (fun row ->
       let c = row.o_cert in
-      Format.fprintf ppf "  %-10s %-12s %-22s %3d %3d %6d %-8s %s%s@."
+      (* Budget-exhausted rows carry their partial result inline: the
+         work already sunk and the infeasibility floor it bought, so an
+         "unknown(budget)" is visibly different from "never tried". *)
+      let budget_note =
+        match c.Oracle.verdict with
+        | Oracle.Unknown ->
+            Printf.sprintf "  [spent %d decisions+conflicts, minimum >= %d proven]"
+              (c.Oracle.decisions + c.Oracle.conflicts)
+              c.Oracle.infeasible_below
+        | Oracle.Optimal | Oracle.Hardware_bound | Oracle.Heuristic_gap -> ""
+      in
+      Format.fprintf ppf "  %-10s %-12s %-22s %3d %3d %6d %-8s %s%s%s@."
         row.o_bench row.o_loop row.o_target row.o_unroll
         c.Oracle.heuristic_ii c.Oracle.floor (proven_label c)
         (Oracle.verdict_to_string c.Oracle.verdict)
+        budget_note
         (if Oracle.sound c then "" else "  SOUNDNESS VIOLATION"))
     rows
 

@@ -642,21 +642,47 @@ let certify cfg ddg ~latency ?(allow_cross_cluster_mem = false) ?reg_limit
       conflicts = !conf;
     }
   in
+  let module Cancel = Vliw_parallel.Cancel in
+  let stage_of ii =
+    Printf.sprintf "oracle probe ii=%d (floor %d, minimum >= %d proven)" ii
+      floor ii
+  in
   let rec probe ii =
     if ii >= heuristic_ii then
       finish ~minimal:(Some heuristic_ii) ~infeasible_below:heuristic_ii
         ~verdict:(if heuristic_ii = floor then Optimal else Hardware_bound)
         ~witness:None ~witness_diags:[]
     else begin
+      (* A request deadline reuses the solver's own budget machinery: cap
+         this probe's decision budget by the token's remaining work units
+         so cancellation lands on a deterministic solver decision count,
+         never a wall-clock instant.  [max 1] keeps the probe well-formed
+         when the token is already dry — it exhausts immediately. *)
+      let effective_budget =
+        match Cancel.remaining () with
+        | None -> budget
+        | Some r -> min budget (max 1 r)
+      in
+      Cancel.set_stage (stage_of ii);
       let d, st =
-        decide cfg ddg ~latency ~allow_cross_cluster_mem ?reg_limit ~ii ~budget
-          ()
+        decide cfg ddg ~latency ~allow_cross_cluster_mem ?reg_limit ~ii
+          ~budget:effective_budget ()
       in
       probes := { p_ii = ii; p_sat = d; p_stats = st } :: !probes;
       dec := !dec + st.S.decisions;
       conf := !conf + st.S.conflicts;
+      (* Completed search effort counts against the deadline whatever the
+         probe concluded; the check below decides whether to continue. *)
+      Cancel.charge (st.S.decisions + st.S.conflicts);
       match d with
-      | Infeasible -> probe (ii + 1)
+      | Infeasible ->
+          Cancel.check ~stage:(stage_of (ii + 1)) ();
+          probe (ii + 1)
+      | Out_of_budget when effective_budget < budget ->
+          (* The deadline, not the oracle's own budget, was the binding
+             constraint: surface it as a cancellation so the service can
+             report "timeout" with this probe as partial attribution. *)
+          Cancel.cancel ~stage:(stage_of ii) ()
       | Out_of_budget ->
           finish ~minimal:None ~infeasible_below:ii ~verdict:Unknown
             ~witness:None ~witness_diags:[]

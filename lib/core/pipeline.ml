@@ -69,6 +69,9 @@ let policy_of_target target ~chains ~profile =
       Cluster_heuristic.All_free
 
 let compile_factor cfg ~target ~profiler ~source ~base_profile factor =
+  (* One deterministic work unit per candidate factor: a request deadline
+     cancels the selective search between factors, never mid-schedule. *)
+  Vliw_parallel.Cancel.tick ~stage:("compile " ^ source.Loop.name) 1;
   let loop = Loop.unrolled source ~factor in
   (* Unrolling by 1 shares the source's DDG and trip count, so its
      profile is the base profile already in hand — re-profiling it would

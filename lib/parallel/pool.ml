@@ -38,6 +38,16 @@ type t = { jobs : int; shared : shared option }
    deadlock. *)
 let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* The compile service runs each request handler under this scope so a
+   handler that calls a pool-mapping driver (analyze, explain, ...)
+   stays entirely in its own worker domain: requests are the unit of
+   parallelism there, and the request's Cancel token (domain-local)
+   must see every tick of its own work. *)
+let sequential_scope f =
+  let saved = Domain.DLS.get in_worker_key in
+  Domain.DLS.set in_worker_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker_key saved) f
+
 let worker_loop shared () =
   Domain.DLS.set in_worker_key true;
   let rec loop () =

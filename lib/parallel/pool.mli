@@ -53,6 +53,15 @@ val set_default_jobs : int -> unit
     Shuts down and lazily re-creates the shared pool if the size
     changed. *)
 
+val sequential_scope : (unit -> 'a) -> 'a
+(** Run the callback with every nested {!map} / {!map_ordered} forced
+    sequential in the calling domain (the same mechanism that keeps a
+    worker's nested maps from deadlocking on the shared queue).  The
+    compile service wraps each request handler in this: the request is
+    the unit of parallelism, and the handler's domain-local
+    {!Cancel} token must observe all of its own work.  Restores the
+    previous behaviour on exit, even on exception. *)
+
 val map_ordered : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_ordered ?jobs f xs] maps [f] over [xs] on the shared pool,
     returning results in input order.  [?jobs] overrides the default

@@ -1,0 +1,90 @@
+(** Wire protocol of the resident compile service: newline-delimited
+    JSON, one request per line, one response line per request.
+
+    The toolchain deliberately has no JSON dependency, so this module
+    carries a small self-contained value type, a strict
+    recursive-descent parser (depth-limited, whole-line: trailing bytes
+    after the document are an error), and the string printer the
+    response builders use.  The decoder half maps a parsed document onto
+    the closed request vocabulary with structured errors for every way a
+    line can be wrong — the service's first robustness layer: malformed
+    input must yield an ["error"] response, never an exception and never
+    a silent drop. *)
+
+(** A parsed JSON document.  Numbers with a fraction or exponent parse
+    as [Float]; everything else integral as [Int]. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+(** Strict parse of one complete document.  Rejects trailing non-space
+    bytes, unterminated strings, bad escapes, nesting deeper than
+    {!max_depth}, and anything else off-grammar — with a
+    position-carrying message. *)
+
+val max_depth : int
+(** Nesting bound of {!parse} (defense against pathological input). *)
+
+val to_string : json -> string
+(** Canonical single-line rendering (objects keep field order). *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+(** One decoded service request. *)
+type request =
+  | Compile of { bench : string; heuristic : [ `Ibc | `Ipbc ]; chains : bool }
+  | Simulate of {
+      bench : string;
+      arch : Vliw_sim.Machine.arch;
+      heuristic : [ `Ibc | `Ipbc ];
+      ab_entries : int option;
+      hints : bool;
+      trip_cap : int option;
+    }
+  | Analyze of { bench : string option }
+  | Explain of { bench : string option }
+  | Oracle of { bench : string option; budget : int }
+  | Sweep_cell of {
+      bench : string;
+      buses : int option;
+      ab_entries : int option;
+      cache_size : int option;
+      associativity : int option;
+      trip_cap : int;
+    }
+  | Health
+  | Drain
+
+val request_kind : request -> string
+(** The wire name of the request ("compile", "simulate", ...). *)
+
+type envelope = {
+  id : string option;  (** client-chosen correlation id, echoed back *)
+  deadline : int option;  (** work-unit budget; [None] = effectively unbounded *)
+  req : request;
+}
+
+type decode_error = {
+  kind : string;
+      (** one of "parse", "not_object", "unknown_request", "bad_field",
+          "unknown_field", "missing_field" *)
+  detail : string;
+}
+
+val decode : string -> (envelope, decode_error) result
+(** Decode one request line.  Strict: the top level must be an object
+    with a string ["req"] naming a known request, every other field must
+    belong to that request's schema with the right type, and unknown
+    fields are rejected rather than ignored (a typo'd option silently
+    doing nothing is a robustness bug, not a convenience). *)
+
+val arch_of_string : string -> Vliw_sim.Machine.arch option
+(** The CLI's architecture vocabulary: "interleaved", "interleaved+ab",
+    "multivliw", "unified1", "unified5". *)

@@ -308,6 +308,11 @@ let run_loop_batched cfg (cells : batch_cell array) (c : Pipeline.compiled)
   in
   let accesses = Array.init m access_of in
   for iter = 0 to trip - 1 do
+    (* Deadline tick: [m] work units (one per simulated config) every
+       256 unrolled iterations — coarse enough to cost nothing, placed
+       at an iteration boundary so a cancelled batch is cut at the same
+       trip point regardless of host or batch composition. *)
+    if iter land 255 = 0 then Vliw_parallel.Cancel.tick ~stage:"simulate" m;
     let row = iter * n in
     for k = 0 to n - 1 do
       let base = trace.(row + k) in

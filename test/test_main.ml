@@ -16,6 +16,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("oracle", Test_oracle.suite);
       ("locality", Test_locality.suite);
+      ("service", Test_service.suite);
       ("figures", Test_figures.suite);
       ("properties", Test_props.suite);
     ]

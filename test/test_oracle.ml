@@ -337,6 +337,55 @@ let test_schema_version_stamped () =
   Alcotest.(check bool) "analyze --json carries schema_version" true
     (contains (Buffer.contents buf) stamp)
 
+(* A starvation budget forces Out_of_budget on the gap loop's first
+   probe: the verdict must render as unknown(budget) WITH its partial
+   result — work spent and the floor proven so far — in both the human
+   leaderboard and the per-loop JSON, and stay distinguishable from
+   loops where the oracle was never attempted ("oracle":null). *)
+let test_unknown_budget_reports_partial_result () =
+  let render ~json =
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    let summary =
+      Explain.run_all ~benchmarks:[ "jpegdec" ] ~json ~oracle_budget:2 ppf
+    in
+    Format.pp_print_flush ppf ();
+    (summary, Buffer.contents buf)
+  in
+  let summary, human = render ~json:false in
+  let rows = summary.Explain.leaderboard in
+  Alcotest.(check bool) "at least one row starved" true
+    (List.exists
+       (fun (r : Explain.oracle_row) ->
+         r.Explain.o_cert.Oracle.verdict = Oracle.Unknown)
+       rows);
+  List.iter
+    (fun (r : Explain.oracle_row) ->
+      let c = r.Explain.o_cert in
+      if c.Oracle.verdict = Oracle.Unknown then begin
+        Alcotest.(check bool) "starved row burned work" true
+          (c.Oracle.decisions + c.Oracle.conflicts > 0);
+        Alcotest.(check bool) "floor proven so far is sound" true
+          (c.Oracle.infeasible_below >= c.Oracle.floor
+          && c.Oracle.infeasible_below <= c.Oracle.heuristic_ii)
+      end)
+    rows;
+  Alcotest.(check bool) "human leaderboard names the verdict" true
+    (contains human "unknown(budget)");
+  Alcotest.(check bool) "human leaderboard carries work spent" true
+    (contains human "[spent ");
+  Alcotest.(check bool) "human leaderboard carries the proven floor" true
+    (contains human "proven]");
+  let _, json_out = render ~json:true in
+  Alcotest.(check bool) "per-loop JSON carries the starved certificate" true
+    (contains json_out {|"oracle":{"verdict":"unknown(budget)"|});
+  Alcotest.(check bool) "JSON distinguishes not-attempted loops" true
+    (contains json_out {|"oracle":null|});
+  Alcotest.(check bool) "starved JSON reports decisions spent" true
+    (contains json_out {|"decisions":|});
+  Alcotest.(check bool) "starved JSON reports the proven floor" true
+    (contains json_out {|"proven_floor":|})
+
 let suite =
   [
     Alcotest.test_case "cpsolver: all-diff sat" `Quick test_cpsolver_sat;
@@ -357,6 +406,8 @@ let suite =
       test_certify_deterministic;
     Alcotest.test_case "leaderboard: byte-identical across --jobs" `Quick
       test_leaderboard_deterministic;
+    Alcotest.test_case "leaderboard: unknown(budget) carries partial result"
+      `Quick test_unknown_budget_reports_partial_result;
     Alcotest.test_case "json: schema_version stamped" `Quick
       test_schema_version_stamped;
     prop_oracle_brackets_heuristic;

@@ -246,6 +246,129 @@ let test_schedules_deterministic_across_jobs () =
         cs1 cs2)
     seq par
 
+(* ------------------------------------- single-flight crash hardening *)
+
+exception Flight_crash
+
+(* A computation that raises while holding a single-flight slot must
+   release the claim: the next caller of the key recomputes (fresh
+   miss) instead of inheriting a poisoned entry or blocking forever.
+   This is the property the compile service's crash isolation and
+   deadline cancellation both lean on. *)
+let test_memo_crashed_flight_releases_slot () =
+  let memo : int Vliw_parallel.Memo.t = Vliw_parallel.Memo.create () in
+  let computes = Atomic.make 0 in
+  (match
+     Vliw_parallel.Memo.get memo "key" (fun () ->
+         Atomic.incr computes;
+         raise Flight_crash)
+   with
+  | _ -> Alcotest.fail "expected the computation's exception"
+  | exception Flight_crash -> ());
+  (* The key is free again: a second caller recomputes successfully. *)
+  let v =
+    Vliw_parallel.Memo.get memo "key" (fun () ->
+        Atomic.incr computes;
+        41)
+  in
+  check ci "second caller recomputed" 41 v;
+  check ci "both attempts actually computed" 2 (Atomic.get computes);
+  let st = Vliw_parallel.Memo.stats memo in
+  check ci "two misses (crash + recompute)" 2 st.Vliw_parallel.Memo.misses;
+  check ci "one resident entry" 1 st.Vliw_parallel.Memo.size
+
+let test_memo_crashed_flight_waiters_retry () =
+  (* Concurrent flavour: one domain crashes while holding the claim,
+     the domains blocked on it must wake, retry and succeed. *)
+  let memo : int Vliw_parallel.Memo.t = Vliw_parallel.Memo.create () in
+  let first_in = Atomic.make false in
+  let crasher =
+    Domain.spawn (fun () ->
+        match
+          Vliw_parallel.Memo.get memo "key" (fun () ->
+              Atomic.set first_in true;
+              (* Hold the claim long enough for waiters to block. *)
+              Unix.sleepf 0.05;
+              raise Flight_crash)
+        with
+        | _ -> `Computed
+        | exception Flight_crash -> `Crashed)
+  in
+  while not (Atomic.get first_in) do
+    Domain.cpu_relax ()
+  done;
+  let waiters =
+    List.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            Vliw_parallel.Memo.get memo "key" (fun () -> 100 + i)))
+  in
+  check cb "first flight crashed" true (Domain.join crasher = `Crashed);
+  let results = List.map Domain.join waiters in
+  (* Exactly one waiter recomputed; the others saw its result. *)
+  (match results with
+  | r :: rest ->
+      check cb "waiter recomputed a real value" true (r >= 100 && r < 103);
+      List.iter (fun r' -> check ci "waiters agree" r r') rest
+  | [] -> assert false);
+  let st = Vliw_parallel.Memo.stats memo in
+  check ci "crash + one recompute = two misses" 2
+    st.Vliw_parallel.Memo.misses
+
+(* ------------------------------------------------ cancellation tokens *)
+
+let test_cancel_token_budget_trips_deterministically () =
+  let module Cancel = Vliw_parallel.Cancel in
+  let work budget =
+    let token = Cancel.create ~budget in
+    match
+      Cancel.with_token token (fun () ->
+          for i = 1 to 100 do
+            Cancel.tick ~stage:(Printf.sprintf "step %d" i) 1
+          done;
+          `Finished)
+    with
+    | v -> v
+    | exception Cancel.Cancelled { stage; spent; budget } ->
+        `Cancelled (stage, spent, budget)
+  in
+  check cb "large budget finishes" true (work 1000 = `Finished);
+  (match work 7 with
+  | `Cancelled (stage, spent, budget) ->
+      check cs "trips at the 8th tick exactly" "step 8" stage;
+      check ci "spent counts the tripping tick" 8 spent;
+      check ci "budget echoed" 7 budget
+  | `Finished -> Alcotest.fail "budget 7 must cancel");
+  (* Replay: the same budget cancels at the same tick. *)
+  check cb "deterministic replay" true (work 7 = work 7)
+
+let test_cancel_token_scoped_and_restored () =
+  let module Cancel = Vliw_parallel.Cancel in
+  check cb "no token outside scope" true (Cancel.active () = None);
+  let token = Cancel.create ~budget:5 in
+  (match
+     Cancel.with_token token (fun () ->
+         Cancel.tick 1;
+         Cancel.remaining ())
+   with
+  | Some r -> check ci "remaining inside scope" 4 r
+  | None -> Alcotest.fail "token must be visible inside with_token");
+  check cb "token uninstalled after scope" true (Cancel.active () = None);
+  (* ticks outside any scope are free no-ops *)
+  Cancel.tick 1_000_000;
+  check cb "cancelled flight releases memo slot" true
+    (let memo : int Vliw_parallel.Memo.t = Vliw_parallel.Memo.create () in
+     let t = Cancel.create ~budget:0 in
+     (match
+        Cancel.with_token t (fun () ->
+            Vliw_parallel.Memo.get memo "k" (fun () ->
+                Cancel.tick ~stage:"inside flight" 1;
+                0))
+      with
+     | _ -> false
+     | exception Cancel.Cancelled _ ->
+         (* the claim was released: a fresh caller recomputes *)
+         Vliw_parallel.Memo.get memo "k" (fun () -> 7) = 7))
+
 let render_fig4 ctx =
   let buf = Buffer.create 65536 in
   let ppf = Format.formatter_of_buffer buf in
@@ -272,6 +395,14 @@ let suite =
      test_memo_single_flight);
     ("context: sharded memo holds under raw-domain contention", `Slow,
      test_memo_contention_raw_domains);
+    ("memo: crashed flight releases its slot (regression)", `Quick,
+     test_memo_crashed_flight_releases_slot);
+    ("memo: waiters retry after a crashed flight", `Slow,
+     test_memo_crashed_flight_waiters_retry);
+    ("cancel: budget trips at a deterministic tick", `Quick,
+     test_cancel_token_budget_trips_deterministically);
+    ("cancel: token is scoped and memo-safe", `Quick,
+     test_cancel_token_scoped_and_restored);
     ("memo: cap evicts FIFO and counts hits/misses/evictions", `Quick,
      test_memo_cap_evicts_fifo);
     ("memo: capped memo stays correct under domain contention", `Slow,
