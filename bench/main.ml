@@ -315,6 +315,20 @@ let timed_serve () =
   in
   (wall, rps, p99, outcome)
 
+(* The concurrency sanitizer, end to end: record the pool/memo and
+   serve workloads through the sync shim, analyze both traces under
+   lockset + happens-before, and explore every closed scenario with the
+   DPOR explorer.  The wall-clock bounds what the concsan CI gate costs
+   per run; a blow-up here means the shim, the trace analyzer, or the
+   explorer's pruning regressed. *)
+let timed_concsan () =
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let t0 = Unix.gettimeofday () in
+  let summary =
+    Vliw_concsan.Concsan.run ~seed:Vliw_concsan.Concsan.default_seed null_ppf
+  in
+  (Unix.gettimeofday () -. t0, summary)
+
 let write_bench_json ~estimates =
   let n = max 2 (Pool.default_jobs ()) in
   let effective = Pool.effective_jobs n in
@@ -363,6 +377,8 @@ let write_bench_json ~estimates =
   let prev_serve_rps = previous_json_float ~key:"serve_req_per_s" in
   let prev_serve_p99 = previous_json_float ~key:"serve_p99_ms" in
   let serve_wall, serve_rps, serve_p99, serve_outcome = timed_serve () in
+  let prev_concsan_s = previous_json_float ~key:"concsan_wall_s" in
+  let concsan_s, concsan_summary = timed_concsan () in
   let oracle_rows = oracle_summary.Vliw_analysis.Explain.leaderboard in
   let oracle_closed =
     List.length
@@ -447,6 +463,15 @@ let write_bench_json ~estimates =
   p "    \"internal_errors\": %d,\n" sc.Vliw_service.Serve.internal_errors;
   p "    \"serve_req_per_s\": %.1f,\n" serve_rps;
   p "    \"serve_p99_ms\": %.3f\n" serve_p99;
+  p "  },\n";
+  p "  \"concsan\": {\n";
+  p "    \"concsan_wall_s\": %.3f,\n" concsan_s;
+  p "    \"trace_events\": %d,\n" concsan_summary.Vliw_concsan.Concsan.trace_events;
+  p "    \"trace_threads\": %d,\n" concsan_summary.Vliw_concsan.Concsan.trace_threads;
+  p "    \"scenarios\": %d,\n" concsan_summary.Vliw_concsan.Concsan.scenarios;
+  p "    \"executions\": %d,\n" concsan_summary.Vliw_concsan.Concsan.executions;
+  p "    \"errors\": %d,\n" concsan_summary.Vliw_concsan.Concsan.errors;
+  p "    \"warnings\": %d\n" concsan_summary.Vliw_concsan.Concsan.warnings;
   p "  }\n";
   p "}\n";
   close_out oc;
@@ -590,6 +615,29 @@ let write_bench_json ~estimates =
         "*** WARNING: serve p99 handler latency (%.2f ms) regressed more \
          than 25%% over the committed baseline (%.2f ms) ***@."
         serve_p99 prev
+  | Some _ | None -> ());
+  Format.fprintf ppf
+    "concsan wall-clock: %.2fs (%d trace events over %d threads, %d \
+     scenarios / %d interleavings explored, %d errors, %d warnings)@."
+    concsan_s concsan_summary.Vliw_concsan.Concsan.trace_events
+    concsan_summary.Vliw_concsan.Concsan.trace_threads
+    concsan_summary.Vliw_concsan.Concsan.scenarios
+    concsan_summary.Vliw_concsan.Concsan.executions
+    concsan_summary.Vliw_concsan.Concsan.errors
+    concsan_summary.Vliw_concsan.Concsan.warnings;
+  if concsan_summary.Vliw_concsan.Concsan.errors > 0 then begin
+    Format.fprintf ppf
+      "ERROR: concsan found %d error-severity concurrency diagnostics@."
+      concsan_summary.Vliw_concsan.Concsan.errors;
+    exit 1
+  end;
+  (match prev_concsan_s with
+  | Some prev when prev > 0.0 && concsan_s > 1.25 *. prev ->
+      Format.fprintf ppf
+        "*** WARNING: concsan run (%.2fs) regressed more than 25%% over \
+         the committed baseline (%.2fs) — the sync shim, trace analyzer, \
+         or DPOR explorer got slower ***@."
+        concsan_s prev
   | Some _ | None -> ());
   Format.fprintf ppf "wrote %s@.@." path;
   match par with

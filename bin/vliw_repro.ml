@@ -285,17 +285,61 @@ let analyze_cmd =
       & info [ "verbose"; "v" ]
           ~doc:"Also print info-severity diagnostics.")
   in
-  let run jobs verbose json names =
+  let concurrency_arg =
+    Arg.(
+      value & flag
+      & info [ "concurrency" ]
+          ~doc:
+            "Run the concurrency sanitizer instead of the artefact \
+             passes: record the pool, the single-flight memos and a \
+             scripted serve session through the sync shim, analyze the \
+             traces for races / lock-order cycles / condition lints, \
+             and explore the closed scenarios under the DPOR \
+             interleaving explorer.")
+  in
+  let mutations_arg =
+    Arg.(
+      value & flag
+      & info [ "mutations" ]
+          ~doc:
+            "With $(b,--concurrency): run the known-bad mutant suite \
+             instead of the clean run and fail unless every mutant is \
+             caught by its expected pass id.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int64 Vliw_concsan.Concsan.default_seed
+      & info [ "seed" ]
+          ~docv:"SEED"
+          ~doc:
+            "Seed for the interleaving explorer's schedule shuffles \
+             (with $(b,--concurrency)); a fixed seed makes the scenario \
+             section byte-identical across runs and $(b,--jobs) \
+             settings.")
+  in
+  let run jobs verbose json concurrency mutations seed names =
     apply_jobs jobs;
-    let names = validate_benches names in
-    let summary =
-      Vliw_analysis.Analyze.run_all ?benchmarks:names ~verbose ~json ppf
-    in
-    if not (Vliw_analysis.Analyze.ok summary) then exit 1
+    if concurrency then
+      if mutations then begin
+        if not (Vliw_concsan.Concsan.run_mutations ~seed ppf) then exit 1
+      end
+      else begin
+        let summary = Vliw_concsan.Concsan.run ~seed ~json ppf in
+        if summary.Vliw_concsan.Concsan.errors > 0 then exit 1
+      end
+    else begin
+      let names = validate_benches names in
+      let summary =
+        Vliw_analysis.Analyze.run_all ?benchmarks:names ~verbose ~json ppf
+      in
+      if not (Vliw_analysis.Analyze.ok summary) then exit 1
+    end
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
-      const run $ jobs_arg $ verbose_arg $ json_arg
+      const run $ jobs_arg $ verbose_arg $ json_arg $ concurrency_arg
+      $ mutations_arg $ seed_arg
       $ benches_arg ~what:"analyze")
 
 (* ------------------------------------------------------------- explain *)

@@ -1,0 +1,49 @@
+(** The concurrency sanitizer driver behind
+    [vliw_repro analyze --concurrency].
+
+    One run has three parts:
+    {ol
+    {- {b Recorded workloads}: the real pool (forced multi-domain via
+       [~clamp:false]), the sharded single-flight memo under contention
+       (including a crashing and a cancelled flight) and a scripted
+       [serve] session with two worker domains all execute under
+       {!Vliw_parallel.Sync.record_scope}; the traces go through
+       {!Hbrace.analyze}.}
+    {- {b Interleaving exploration}: every closed scenario in
+       {!Scenarios.all} runs under the DPOR explorer ({!Vsched}) from
+       the given seed; invariant violations, deadlocks and stuck
+       executions become error diagnostics, an exhausted execution
+       budget a warning ([concsan/explore-budget]).}
+    {- {b Report}: human-readable or single-line JSON
+       ([{"concsan":...}]) on the given formatter.}
+
+    The scenario section is fully deterministic for a fixed seed (the
+    explorer is single-threaded and never consults the clock), which is
+    what {!scenario_report} exposes for byte-identity tests; the
+    recorded-trace section asserts {e zero} diagnostics however the real
+    domains happened to interleave. *)
+
+type summary = {
+  trace_events : int;  (** events across both recorded workloads *)
+  trace_threads : int;
+  scenarios : int;
+  executions : int;  (** DPOR executions across all scenarios *)
+  errors : int;
+  warnings : int;
+}
+
+val default_seed : int64
+
+val run : ?seed:int64 -> ?json:bool -> Format.formatter -> summary
+(** Full sanitizer run; prints the report and returns the summary.
+    Callers decide the exit code from [summary.errors]. *)
+
+val scenario_report : ?seed:int64 -> unit -> string
+(** Deterministic rendering of just the scenario-exploration section —
+    byte-identical across runs and [--jobs] settings for a fixed
+    seed. *)
+
+val run_mutations : ?seed:int64 -> Format.formatter -> bool
+(** Run every mutant in {!Mutations.all}; print one verdict line per
+    mutant.  [true] iff every mutant was flagged by its expected pass
+    id. *)

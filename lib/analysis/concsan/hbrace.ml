@@ -1,0 +1,322 @@
+(* Lockset + vector-clock happens-before trace analysis.  See mli. *)
+
+module T = Vliw_parallel.Sync.Trace
+module D = Vliw_analysis.Diagnostic
+
+(* Per-(cell, thread) we keep at most first/last read and first/last
+   write: a race between two threads on a cell, if any exists, already
+   shows up among those extremes, and it caps the pair comparison. *)
+type access = {
+  a_tid : int;
+  a_write : bool;
+  a_lockset : int list;
+  a_epoch : int;  (* own vector-clock component at the access *)
+  a_vc : int array;  (* full clock snapshot *)
+}
+
+let join dst src =
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+let ordered a b =
+  (* a happens-before b? *)
+  a.a_epoch <= b.a_vc.(a.a_tid)
+
+let disjoint l1 l2 = not (List.exists (fun x -> List.mem x l2) l1)
+
+let analyze (tr : T.t) =
+  let obj id =
+    match List.assoc_opt id tr.T.names with
+    | Some n -> n
+    | None -> Printf.sprintf "#%d" id
+  in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let threads = tr.T.threads in
+  let n = List.length threads in
+  let tidx =
+    let h = Hashtbl.create 16 in
+    List.iteri (fun i th -> Hashtbl.replace h th.T.tid i) threads;
+    fun tid -> match Hashtbl.find_opt h tid with Some i -> i | None -> -1
+  in
+
+  (* -------- global prep: which mutexes guard waits on each condition *)
+  let cond_mutexes : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun th ->
+      List.iter
+        (fun (e : T.entry) ->
+          match e.T.ev with
+          | T.Wait_begin { cond; mutex } ->
+              let cur =
+                Option.value ~default:[] (Hashtbl.find_opt cond_mutexes cond)
+              in
+              if not (List.mem mutex cur) then
+                Hashtbl.replace cond_mutexes cond (mutex :: cur)
+          | _ -> ())
+        th.T.events)
+    threads;
+
+  (* -------- pass 1: per-thread program order — locksets and lints *)
+  let lock_edges : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let thread_name tid = Printf.sprintf "t%d" tid in
+  List.iter
+    (fun th ->
+      let tid = th.T.tid in
+      let held = ref [] in
+      (* wake = Some mutex while between a Wait_end on that mutex and
+         the next shared-state read; cleared by a read, re-armed by the
+         next wake *)
+      let wake_pending = ref None in
+      let wake_cond = ref (-1) in
+      List.iter
+        (fun (e : T.entry) ->
+          (match (!wake_pending, e.T.ev) with
+          | Some m, (T.Release m' | T.Wait_begin { mutex = m'; _ })
+            when m = m' ->
+              add
+                (D.warn ~pass:"concsan/cond-no-recheck"
+                   ~where:
+                     (Printf.sprintf "%s on %s" (thread_name tid)
+                        (obj !wake_cond))
+                   "woken waiter released %s without re-reading any shared \
+                    state — condition wait outside a predicate re-check loop"
+                   (obj m));
+              wake_pending := None
+          | Some _, (T.Read _ | T.A_load _) -> wake_pending := None
+          | _ -> ());
+          match e.T.ev with
+          | T.Acquire m ->
+              List.iter
+                (fun h ->
+                  if h <> m && not (Hashtbl.mem lock_edges (h, m)) then
+                    Hashtbl.replace lock_edges (h, m) tid)
+                !held;
+              held := m :: !held
+          | T.Release m ->
+              if List.mem m !held then
+                held := List.filter (fun x -> x <> m) !held
+              else
+                add
+                  (D.error ~pass:"concsan/unlock-unheld"
+                     ~where:
+                       (Printf.sprintf "%s on %s" (thread_name tid) (obj m))
+                     "released a mutex this thread does not hold")
+          | T.Wait_begin { cond; mutex } ->
+              if List.mem mutex !held then
+                held := List.filter (fun x -> x <> mutex) !held
+              else
+                add
+                  (D.error ~pass:"concsan/unlock-unheld"
+                     ~where:
+                       (Printf.sprintf "%s on %s" (thread_name tid)
+                          (obj mutex))
+                     "condition wait on %s without holding its mutex"
+                     (obj cond))
+          | T.Wait_end { cond; mutex } ->
+              held := mutex :: !held;
+              wake_pending := Some mutex;
+              wake_cond := cond
+          | T.Signal { cond; broadcast } ->
+              let verb = if broadcast then "broadcast" else "signal" in
+              if !held = [] then
+                add
+                  (D.error ~pass:"concsan/cond-signal-unlocked"
+                     ~where:
+                       (Printf.sprintf "%s on %s" (thread_name tid) (obj cond))
+                     "%s while holding no mutex — waiters can miss the wakeup"
+                     verb)
+              else (
+                match Hashtbl.find_opt cond_mutexes cond with
+                | Some ms when disjoint ms !held ->
+                    add
+                      (D.error ~pass:"concsan/cond-signal-unlocked"
+                         ~where:
+                           (Printf.sprintf "%s on %s" (thread_name tid)
+                              (obj cond))
+                         "%s while holding none of the mutexes waiters of \
+                          this condition use"
+                         verb)
+                | _ -> ())
+          | T.End ->
+              List.iter
+                (fun m ->
+                  add
+                    (D.error ~pass:"concsan/lock-held-at-exit"
+                       ~where:
+                         (Printf.sprintf "%s on %s" (thread_name tid) (obj m))
+                       "thread terminated still holding this mutex"))
+                !held
+          | T.Read _ | T.Write _ | T.A_load _ | T.A_store _ | T.Fork _
+          | T.Begin _ | T.Join _ | T.Note _ ->
+              ())
+        th.T.events)
+    threads;
+
+  (* -------- lock-order cycles *)
+  let succs m =
+    Hashtbl.fold (fun (a, b) _ acc -> if a = m then b :: acc else acc)
+      lock_edges []
+  in
+  let reaches src dst =
+    let seen = Hashtbl.create 8 in
+    let rec go m =
+      m = dst
+      || (not (Hashtbl.mem seen m))
+         && begin
+              Hashtbl.replace seen m ();
+              List.exists go (succs m)
+            end
+    in
+    go src
+  in
+  let reported = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun (m1, m2) tid ->
+      if m1 < m2 && reaches m2 m1 then begin
+        let key = (m1, m2) in
+        if not (Hashtbl.mem reported key) then begin
+          Hashtbl.replace reported key ();
+          let tid' =
+            match Hashtbl.find_opt lock_edges (m2, m1) with
+            | Some t -> t
+            | None -> tid
+          in
+          add
+            (D.error ~pass:"concsan/lock-order"
+               ~where:(Printf.sprintf "%s <-> %s" (obj m1) (obj m2))
+               "lock-order cycle: t%d acquires %s while holding %s, t%d \
+                (or a path) acquires them in the opposite order — potential \
+                deadlock"
+               tid (obj m2) (obj m1) tid')
+        end
+      end)
+    lock_edges;
+
+  (* -------- pass 2: vector clocks over the global stamp order *)
+  let merged =
+    List.concat_map
+      (fun th -> List.map (fun e -> (th.T.tid, e)) th.T.events)
+      threads
+    |> List.sort (fun (_, a) (_, b) -> compare a.T.stamp b.T.stamp)
+  in
+  let vc = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0)) in
+  let held = Array.make n [] in
+  let mutex_clock : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  let atomic_clock : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  let cond_clock : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  let fork_clock : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  let end_clock : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  let accesses : (int, access list ref) Hashtbl.t = Hashtbl.create 32 in
+  let bump i = vc.(i).(i) <- vc.(i).(i) + 1 in
+  let acquire_from tbl key i =
+    match Hashtbl.find_opt tbl key with
+    | Some c -> join vc.(i) c
+    | None -> ()
+  in
+  let release_to tbl key i =
+    Hashtbl.replace tbl key (Array.copy vc.(i));
+    bump i
+  in
+  let record_access cell i ~write =
+    let ls = held.(i) in
+    let a =
+      {
+        a_tid = i;
+        a_write = write;
+        a_lockset = ls;
+        a_epoch = vc.(i).(i);
+        a_vc = Array.copy vc.(i);
+      }
+    in
+    let r =
+      match Hashtbl.find_opt accesses cell with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.replace accesses cell r;
+          r
+    in
+    (* Keep first and latest per (thread, kind).  Events arrive in
+       stamp order, so within a thread the new access is the latest:
+       with two kept already, it replaces the later one. *)
+    let same, other =
+      List.partition (fun x -> x.a_tid = i && x.a_write = write) !r
+    in
+    let kept =
+      match List.sort (fun x y -> compare x.a_epoch y.a_epoch) same with
+      | [] -> [ a ]
+      | first :: _ -> [ first; a ]
+    in
+    r := kept @ other
+  in
+  List.iter
+    (fun (tid, (e : T.entry)) ->
+      let i = tidx tid in
+      if i >= 0 then
+        match e.T.ev with
+        | T.Acquire m | T.Wait_end { mutex = m; _ } ->
+            acquire_from mutex_clock m i;
+            (match e.T.ev with
+            | T.Wait_end { cond; _ } -> acquire_from cond_clock cond i
+            | _ -> ());
+            held.(i) <- m :: held.(i)
+        | T.Release m | T.Wait_begin { mutex = m; _ } ->
+            held.(i) <- List.filter (fun x -> x <> m) held.(i);
+            release_to mutex_clock m i
+        | T.Signal { cond; _ } -> release_to cond_clock cond i
+        | T.A_load a | T.A_store a ->
+            acquire_from atomic_clock a i;
+            Hashtbl.replace atomic_clock a (Array.copy vc.(i));
+            bump i
+        | T.Fork { child } -> release_to fork_clock child i
+        | T.Begin { parent = _ } -> acquire_from fork_clock tid i
+        | T.End -> release_to end_clock tid i
+        | T.Join { child } -> acquire_from end_clock child i
+        | T.Read c -> record_access c i ~write:false
+        | T.Write c -> record_access c i ~write:true
+        | T.Note _ -> ())
+    merged;
+
+  (* -------- race detection over the kept access extremes *)
+  Hashtbl.iter
+    (fun cell r ->
+      let al = !r in
+      let race =
+        List.exists
+          (fun a ->
+            List.exists
+              (fun b ->
+                a.a_tid <> b.a_tid
+                && (a.a_write || b.a_write)
+                && (not (ordered a b))
+                && (not (ordered b a))
+                && disjoint a.a_lockset b.a_lockset
+                &&
+                (add
+                   (D.error ~pass:"concsan/race"
+                      ~where:(obj cell)
+                      "unsynchronized %s by t%d and %s by t%d (no \
+                       happens-before edge, disjoint locksets)"
+                      (if a.a_write then "write" else "read")
+                      a.a_tid
+                      (if b.a_write then "write" else "read")
+                      b.a_tid);
+                 true))
+              al)
+          al
+      in
+      ignore race)
+    accesses;
+
+  (* -------- deterministic order + (pass, where) dedup *)
+  let cmp (a : D.t) (b : D.t) =
+    compare (a.D.pass, a.D.where, a.D.message) (b.D.pass, b.D.where, b.D.message)
+  in
+  let sorted = List.sort cmp !diags in
+  let rec dedup = function
+    | a :: b :: rest when a.D.pass = b.D.pass && a.D.where = b.D.where ->
+        dedup (a :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted

@@ -1,0 +1,34 @@
+(** Offline analyzer for {!Vliw_parallel.Sync.Trace} recordings:
+    Eraser-style lockset race detection refined by vector-clock
+    happens-before, a lock-order-graph cycle detector, and
+    condition-variable lints.
+
+    Happens-before edges: fork → child begin, child end → join, mutex
+    release → later acquire of the same mutex (condition wait counts as
+    release at [Wait_begin] and acquire at [Wait_end]), condition
+    signal → the wakes it causes, and every atomic operation on an
+    object as both acquire and release of that object (OCaml atomics
+    are SC).  Two accesses to the same cell race when they come from
+    different threads, at least one writes, their vector clocks are
+    unordered {e and} their locksets are disjoint — the lockset
+    refinement keeps the report conservative on the side of silence
+    only when a common lock provably orders the pair anyway.
+
+    Passes emitted (all through {!Vliw_analysis.Diagnostic}):
+    - [concsan/race] (error): unsynchronized conflicting cell access
+    - [concsan/lock-order] (error): cycle in the acquired-while-holding
+      graph — a potential deadlock even if this run got through
+    - [concsan/unlock-unheld] (error): release of a mutex the thread
+      does not hold
+    - [concsan/lock-held-at-exit] (error): a thread that terminated
+      (has an [End] event) still holding a mutex
+    - [concsan/cond-signal-unlocked] (error): signal/broadcast while
+      holding no mutex at all, or none of the mutexes ever associated
+      with that condition by a wait
+    - [concsan/cond-no-recheck] (warn): a woken waiter proceeded to
+      release the mutex without re-reading any shared state — the
+      [if]-instead-of-[while] shape *)
+
+val analyze : Vliw_parallel.Sync.Trace.t -> Vliw_analysis.Diagnostic.t list
+(** Deterministically ordered (by pass, then location, then message)
+    and deduplicated per (pass, location). *)

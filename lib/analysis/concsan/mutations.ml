@@ -1,0 +1,281 @@
+(* Known-bad concurrency mutants.  Each mutation reintroduces a classic
+   bug class on purpose and names the pass id that must flag it; the
+   test suite and `analyze --concurrency --mutations` fail if any
+   mutant slips through undetected.  Record-mode mutants run real
+   domains under {!Sync.record_scope} and feed the trace to
+   {!Hbrace.analyze}; scheduler mutants run a deliberately broken
+   scenario under the interleaving explorer. *)
+
+module Sync = Vliw_parallel.Sync
+module D = Vliw_analysis.Diagnostic
+
+type t = {
+  m_name : string;
+  m_expected : string;  (* pass id that must appear in the report *)
+  m_run : unit -> D.t list;
+}
+
+let record_diags f =
+  let (), tr = Sync.record_scope f in
+  Hbrace.analyze tr
+
+let failure_diags (o : Vsched.outcome) =
+  List.map
+    (fun (f : Vsched.failure) ->
+      D.error ~pass:f.Vsched.pass ~where:o.Vsched.name "%s [schedule: %s]"
+        f.Vsched.message f.Vsched.schedule)
+    o.Vsched.failures
+
+(* 1. A branch returns without unlocking. *)
+let dropped_unlock () =
+  record_diags (fun () ->
+      let m = Sync.mutex ~name:"mutant.m" () in
+      let c = Sync.cell ~name:"mutant.data" () in
+      let h =
+        Sync.spawn (fun () ->
+            Sync.lock m;
+            Sync.write c
+            (* bug: early return path forgot Sync.unlock m *))
+      in
+      Sync.join h)
+
+(* 2. Two code paths take the same pair of locks in opposite orders.
+   Run sequentially so the mutant itself cannot actually deadlock the
+   test process — the cycle is in the order graph, not this run. *)
+let lock_order_inversion () =
+  record_diags (fun () ->
+      let a = Sync.mutex ~name:"mutant.a" () in
+      let b = Sync.mutex ~name:"mutant.b" () in
+      let h1 =
+        Sync.spawn (fun () ->
+            Sync.lock a;
+            Sync.lock b;
+            Sync.unlock b;
+            Sync.unlock a)
+      in
+      Sync.join h1;
+      let h2 =
+        Sync.spawn (fun () ->
+            Sync.lock b;
+            Sync.lock a;
+            Sync.unlock a;
+            Sync.unlock b)
+      in
+      Sync.join h2)
+
+(* 3. A shared counter bumped by two domains with no lock and no
+   atomic.  The fork edges order each worker after the parent but not
+   against each other, so the writes are unordered with empty locksets
+   regardless of how the real run interleaved. *)
+let racy_increment () =
+  record_diags (fun () ->
+      let counter = ref 0 in
+      let c = Sync.cell ~name:"mutant.counter" () in
+      let worker () =
+        for _ = 1 to 50 do
+          Sync.write c;
+          incr counter
+        done
+      in
+      let h1 = Sync.spawn worker in
+      let h2 = Sync.spawn worker in
+      Sync.join h1;
+      Sync.join h2;
+      ignore !counter)
+
+(* 4. Unlocking a mutex the thread never acquired. *)
+let unlock_unheld () =
+  record_diags (fun () ->
+      let m = Sync.mutex ~name:"mutant.m" () in
+      let h =
+        Sync.spawn (fun () ->
+            match Sync.unlock m with
+            | () -> ()
+            | exception Sys_error _ -> ())
+      in
+      Sync.join h)
+
+(* 5. Signalling a condition with no lock held: the wakeup can land
+   between a waiter's predicate check and its wait. *)
+let signal_unlocked () =
+  record_diags (fun () ->
+      let cv = Sync.condition ~name:"mutant.cv" () in
+      let h = Sync.spawn (fun () -> Sync.signal cv) in
+      Sync.join h)
+
+(* 6. Waiting without a predicate re-check loop.  A raw (uninstrumented)
+   atomic flag makes the rendezvous deterministic without adding trace
+   events: the waiter sets it under the mutex before waiting, so the
+   signaller can only get the lock once the waiter is committed. *)
+let wait_no_recheck () =
+  record_diags (fun () ->
+      let m = Sync.mutex ~name:"mutant.m" () in
+      let cv = Sync.condition ~name:"mutant.cv" () in
+      let gate = Sync.cell ~name:"mutant.gate" () in
+      let committed = Atomic.make false in
+      let waiter =
+        Sync.spawn (fun () ->
+            Sync.lock m;
+            Atomic.set committed true;
+            Sync.wait cv m;
+            (* bug: proceeds without re-reading the guarded state *)
+            Sync.unlock m)
+      in
+      let signaller =
+        Sync.spawn (fun () ->
+            while not (Atomic.get committed) do
+              Domain.cpu_relax ()
+            done;
+            Sync.lock m;
+            Sync.write gate;
+            Sync.signal cv;
+            Sync.unlock m)
+      in
+      Sync.join waiter;
+      Sync.join signaller)
+
+(* 7. A hand-written mini-memo whose claim is not released when the
+   compute crashes: the explorer finds the schedule where the crasher
+   claims first and the waiter then blocks forever.  Spurious budget 0
+   so the deadlock verdict is not masked by an injected wakeup. *)
+let missing_claim_release_scenario () =
+  {
+    Vsched.name = "mutant-missing-claim-release";
+    spurious_budget = 0;
+    prepare =
+      (fun () ->
+        let tbl : (string, [ `In_flight | `Ready of int ]) Hashtbl.t =
+          Hashtbl.create 4
+        in
+        let c_tbl = Sync.cell ~name:"mutant.memo.table" () in
+        let m = Sync.mutex ~name:"mutant.memo.lock" () in
+        let cv = Sync.condition ~name:"mutant.memo.ready" () in
+        let get compute =
+          Sync.lock m;
+          let rec claim () =
+            Sync.read c_tbl;
+            match Hashtbl.find_opt tbl "k" with
+            | Some (`Ready v) ->
+                Sync.unlock m;
+                v
+            | Some `In_flight ->
+                Sync.wait cv m;
+                claim ()
+            | None ->
+                Sync.write c_tbl;
+                Hashtbl.replace tbl "k" `In_flight;
+                Sync.unlock m;
+                (* bug: no Fun.protect — a crash leaves `In_flight forever *)
+                let v = compute () in
+                Sync.lock m;
+                Sync.write c_tbl;
+                Hashtbl.replace tbl "k" (`Ready v);
+                Sync.broadcast cv;
+                Sync.unlock m;
+                v
+          in
+          claim ()
+        in
+        let crasher () =
+          match
+            get (fun () ->
+                Sync.read c_tbl;
+                raise Exit)
+          with
+          | (_ : int) -> ()
+          | exception Exit -> ()
+        in
+        let waiter () = ignore (get (fun () -> 5)) in
+        ([ ("crasher", crasher); ("waiter", waiter) ], fun () -> None));
+  }
+
+let missing_claim_release ~seed () =
+  failure_diags
+    (Vsched.explore ~seed (missing_claim_release_scenario ()))
+
+(* 8. `if` instead of `while` around a condition wait: after a
+   broadcast wakes both consumers, the second pops an empty queue. *)
+let if_instead_of_while_scenario () =
+  {
+    Vsched.name = "mutant-if-not-while";
+    spurious_budget = 0;
+    prepare =
+      (fun () ->
+        let items : int Queue.t = Queue.create () in
+        let c_q = Sync.cell ~name:"mutant.queue" () in
+        let m = Sync.mutex ~name:"mutant.q.lock" () in
+        let cv = Sync.condition ~name:"mutant.q.nonempty" () in
+        let underflow = ref false in
+        let consumer () =
+          Sync.lock m;
+          Sync.read c_q;
+          if Queue.is_empty items then Sync.wait cv m;
+          (* bug: should loop, not fall through *)
+          Sync.read c_q;
+          if Queue.is_empty items then underflow := true
+          else ignore (Queue.pop items);
+          Sync.unlock m
+        in
+        let producer () =
+          Sync.lock m;
+          Sync.write c_q;
+          Queue.push 1 items;
+          Sync.broadcast cv;
+          Sync.unlock m
+        in
+        ( [ ("c1", consumer); ("c2", consumer); ("producer", producer) ],
+          fun () ->
+            if !underflow then
+              Some
+                ( "concsan/cond-no-predicate-loop",
+                  "a woken consumer found the queue empty — wait must sit \
+                   in a predicate re-check loop" )
+            else None ));
+  }
+
+let if_instead_of_while ~seed () =
+  failure_diags (Vsched.explore ~seed (if_instead_of_while_scenario ()))
+
+let all ~seed =
+  [
+    {
+      m_name = "dropped-unlock";
+      m_expected = "concsan/lock-held-at-exit";
+      m_run = dropped_unlock;
+    };
+    {
+      m_name = "lock-order-inversion";
+      m_expected = "concsan/lock-order";
+      m_run = lock_order_inversion;
+    };
+    {
+      m_name = "racy-increment";
+      m_expected = "concsan/race";
+      m_run = racy_increment;
+    };
+    {
+      m_name = "unlock-unheld";
+      m_expected = "concsan/unlock-unheld";
+      m_run = unlock_unheld;
+    };
+    {
+      m_name = "signal-unlocked";
+      m_expected = "concsan/cond-signal-unlocked";
+      m_run = signal_unlocked;
+    };
+    {
+      m_name = "wait-no-recheck";
+      m_expected = "concsan/cond-no-recheck";
+      m_run = wait_no_recheck;
+    };
+    {
+      m_name = "missing-claim-release";
+      m_expected = "concsan/deadlock";
+      m_run = missing_claim_release ~seed;
+    };
+    {
+      m_name = "if-instead-of-while";
+      m_expected = "concsan/cond-no-predicate-loop";
+      m_run = if_instead_of_while ~seed;
+    };
+  ]

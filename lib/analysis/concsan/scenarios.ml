@@ -1,0 +1,202 @@
+(* Closed scenarios for the interleaving explorer.  Each [prepare]
+   builds fresh shared state and returns root fibers running the *real*
+   production code (Memo single-flight, the serve Emitter/Wq) through
+   the Sync shim, plus an invariant checked after every completed
+   interleaving.  Deadlocks and livelocks are reported by the explorer
+   itself; the checks here are about values.
+
+   Every scenario gets a spurious-wakeup budget of 1 unless stated
+   otherwise: all the production wait loops are predicate re-check
+   loops, so an injected spurious wake must never break an invariant —
+   and it is exactly what exposes if-instead-of-while mutants. *)
+
+module Memo = Vliw_parallel.Memo
+module Cancel = Vliw_parallel.Cancel
+module Sync = Vliw_parallel.Sync
+module Serve = Vliw_service.Serve
+
+exception Boom
+
+(* A cell accessed inside memo computations purely to give the
+   explorer a scheduling point mid-compute. *)
+let scratch () = Sync.cell ~name:"scenario.scratch" ()
+
+let memo_single_flight =
+  {
+    Vsched.name = "memo-single-flight";
+    spurious_budget = 1;
+    prepare =
+      (fun () ->
+        let memo = Memo.create ~shards:1 () in
+        let sc = scratch () in
+        let computes = ref 0 in
+        let results = Array.make 2 None in
+        let getter i () =
+          results.(i) <-
+            Some
+              (Memo.get memo "k" (fun () ->
+                   Sync.read sc;
+                   incr computes;
+                   41))
+        in
+        ( [ ("a", getter 0); ("b", getter 1) ],
+          fun () ->
+            if !computes <> 1 then
+              Some
+                ( "concsan/single-flight",
+                  Printf.sprintf "key computed %d times, want exactly 1"
+                    !computes )
+            else if results <> [| Some 41; Some 41 |] then
+              Some ("concsan/single-flight", "a getter saw a wrong value")
+            else None ));
+  }
+
+let memo_crash_release =
+  {
+    Vsched.name = "memo-crash-release";
+    spurious_budget = 1;
+    prepare =
+      (fun () ->
+        let memo = Memo.create ~shards:1 () in
+        let sc = scratch () in
+        let b_result = ref None in
+        let crasher () =
+          match
+            Memo.get memo "k" (fun () ->
+                Sync.read sc;
+                raise Boom)
+          with
+          | (_ : int) -> ()
+          | exception Boom -> ()
+        in
+        let waiter () =
+          b_result :=
+            Some
+              (Memo.get memo "k" (fun () ->
+                   Sync.read sc;
+                   7))
+        in
+        ( [ ("crasher", crasher); ("waiter", waiter) ],
+          fun () ->
+            if !b_result <> Some 7 then
+              Some
+                ( "concsan/claim-release",
+                  "waiter did not obtain the value after a crashed flight" )
+            else if Memo.find_opt memo "k" <> Some 7 then
+              Some
+                ( "concsan/claim-release",
+                  "memo left poisoned after a crashed flight" )
+            else None ));
+  }
+
+(* The Cancel variant of crash-release: a flight tripped by a budget
+   must release its claim so any waiter can re-claim — this is the
+   scenario the qcheck property in test/ drives across seeds. *)
+let memo_cancel_release =
+  {
+    Vsched.name = "memo-cancel-release";
+    spurious_budget = 1;
+    prepare =
+      (fun () ->
+        let memo = Memo.create ~shards:1 () in
+        let sc = scratch () in
+        let waiter_result = ref None in
+        let cancelled () =
+          let token = Cancel.create ~budget:0 in
+          match
+            Cancel.with_token token (fun () ->
+                Memo.get memo "k" (fun () ->
+                    Sync.read sc;
+                    Cancel.tick ~stage:"scenario compute" 1;
+                    99))
+          with
+          | (_ : int) -> ()
+          | exception Cancel.Cancelled _ -> ()
+        in
+        let waiter () =
+          waiter_result :=
+            Some
+              (Memo.get memo "k" (fun () ->
+                   Sync.read sc;
+                   9))
+        in
+        ( [ ("cancelled", cancelled); ("waiter", waiter) ],
+          fun () ->
+            if !waiter_result <> Some 9 then
+              Some
+                ( "concsan/claim-release",
+                  "cancelled flight's slot was not re-claimable by the \
+                   waiter" )
+            else None ));
+  }
+
+let emitter_in_order =
+  {
+    Vsched.name = "emitter-in-order";
+    spurious_budget = 1;
+    prepare =
+      (fun () ->
+        let out = ref [] in
+        let em = Serve.Emitter.create ~write:(fun l -> out := l :: !out) () in
+        let emit_one seq () = Serve.Emitter.emit em seq (Printf.sprintf "l%d" seq) in
+        let barrier () =
+          Serve.Emitter.wait_until em 3;
+          out := "barrier" :: !out
+        in
+        ( [
+            ("e2", emit_one 2);
+            ("e0", emit_one 0);
+            ("e1", emit_one 1);
+            ("barrier", barrier);
+          ],
+          fun () ->
+            let got = List.rev !out in
+            if got <> [ "l0"; "l1"; "l2"; "barrier" ] then
+              Some
+                ( "concsan/emit-order",
+                  "lines out of order: " ^ String.concat "," got )
+            else None ));
+  }
+
+let wq_shed_drain =
+  {
+    Vsched.name = "wq-shed-drain";
+    spurious_budget = 1;
+    prepare =
+      (fun () ->
+        let q = Serve.Wq.create 1 in
+        let executed = ref [] in
+        let accepted = ref 0 in
+        let producer () =
+          for i = 0 to 2 do
+            if Serve.Wq.push q (fun () -> executed := i :: !executed) then
+              incr accepted
+          done;
+          Serve.Wq.stop q
+        in
+        let worker () = Serve.Wq.worker q in
+        ( [ ("producer", producer); ("worker", worker) ],
+          fun () ->
+            let ran = List.rev !executed in
+            if List.length ran <> !accepted then
+              Some
+                ( "concsan/wq-drain",
+                  Printf.sprintf
+                    "accepted %d tasks but executed %d — stop must drain \
+                     accepted work"
+                    !accepted (List.length ran) )
+            else if !accepted < 1 then
+              Some ("concsan/wq-drain", "queue shed every push at cap 1")
+            else if List.sort compare ran <> ran then
+              Some ("concsan/wq-drain", "tasks executed out of FIFO order")
+            else None ));
+  }
+
+let all =
+  [
+    memo_single_flight;
+    memo_crash_release;
+    memo_cancel_release;
+    emitter_in_order;
+    wq_shed_drain;
+  ]

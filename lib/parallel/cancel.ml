@@ -24,6 +24,12 @@ let with_token t f =
 
 let active () = Domain.DLS.get key
 
+(* The concurrency sanitizer's virtual scheduler multiplexes many
+   fibers over one domain; it snapshots/restores the domain-local token
+   around every fiber switch so each fiber keeps its own token. *)
+let dls_snapshot () = Domain.DLS.get key
+let dls_restore saved = Domain.DLS.set key saved
+
 let remaining () =
   match Domain.DLS.get key with
   | None -> None
@@ -38,6 +44,9 @@ let charge n =
   | Some t -> t.spent <- t.spent + n
 
 let trip t =
+  Sync.note
+    (Printf.sprintf "cancel: tripped at stage %s (%d/%d units)" t.stage t.spent
+       t.budget);
   raise (Cancelled { stage = t.stage; spent = t.spent; budget = t.budget })
 
 let check ?stage () =

@@ -49,6 +49,14 @@ val with_token : t -> (unit -> 'a) -> 'a
 val active : unit -> t option
 (** The calling domain's installed token, if any. *)
 
+val dls_snapshot : unit -> t option
+(** The raw domain-local token slot — {!dls_restore} puts it back.  For
+    the concurrency sanitizer's virtual scheduler, which swaps the slot
+    around every fiber switch so fibers sharing one domain keep their
+    own tokens.  Ordinary code should use {!with_token}. *)
+
+val dls_restore : t option -> unit
+
 val remaining : unit -> int option
 (** [Some (budget - spent)] (clamped to [>= 0]) for the installed
     token; [None] when no token is installed.  The oracle caps each

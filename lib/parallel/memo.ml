@@ -20,18 +20,24 @@
    i.e. at least the requested cap); eviction is FIFO over each shard's
    completed keys.  Evicting only trades speed for memory — an evicted
    key is simply recomputed on its next request, with the same
-   single-flight discipline — so results never depend on the cap. *)
+   single-flight discipline — so results never depend on the cap.
+
+   All synchronization goes through the Sync shim so the concurrency
+   sanitizer can record and replay it; the hit/miss/eviction counters
+   are atomics, so stats are exact even though hits are counted under
+   the shard lock while other shards mutate theirs concurrently. *)
 
 type 'a entry = In_flight | Ready of 'a
 
 type 'a shard = {
   cache : (string, 'a entry) Hashtbl.t;
+  c_cache : Sync.cell;  (* race-detector marker for [cache] + [order] *)
   order : string Queue.t;  (* completed keys, oldest first (FIFO) *)
-  lock : Mutex.t;
-  ready : Condition.t;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  lock : Sync.mutex;
+  ready : Sync.condition;
+  hits : Sync.atomic;
+  misses : Sync.atomic;
+  evictions : Sync.atomic;
 }
 
 type 'a t = { mask : int; shard_cap : int option; shards : 'a shard array }
@@ -53,15 +59,17 @@ let create ?(shards = 16) ?cap () =
     mask = n - 1;
     shard_cap;
     shards =
-      Array.init n (fun _ ->
+      Array.init n (fun i ->
+          let name fmt = Printf.sprintf fmt i in
           {
             cache = Hashtbl.create 8;
+            c_cache = Sync.cell ~name:(name "memo.shard%d.cache") ();
             order = Queue.create ();
-            lock = Mutex.create ();
-            ready = Condition.create ();
-            hits = 0;
-            misses = 0;
-            evictions = 0;
+            lock = Sync.mutex ~name:(name "memo.shard%d.lock") ();
+            ready = Sync.condition ~name:(name "memo.shard%d.ready") ();
+            hits = Sync.atomic ~name:(name "memo.shard%d.hits") 0;
+            misses = Sync.atomic ~name:(name "memo.shard%d.misses") 0;
+            evictions = Sync.atomic ~name:(name "memo.shard%d.evictions") 0;
           });
   }
 
@@ -77,28 +85,31 @@ let evict_over_cap t sh =
   | Some cap ->
       while Queue.length sh.order > cap do
         let victim = Queue.pop sh.order in
+        Sync.write sh.c_cache;
         Hashtbl.remove sh.cache victim;
-        sh.evictions <- sh.evictions + 1
+        Sync.add sh.evictions 1
       done
 
 let get t key compute =
   let sh = shard_for t key in
-  Mutex.lock sh.lock;
+  Sync.lock sh.lock;
   let rec claim () =
+    Sync.read sh.c_cache;
     match Hashtbl.find_opt sh.cache key with
     | Some (Ready v) ->
         (* Waiters who blocked on another domain's In_flight claim land
            here too: they never computed, so they count as hits. *)
-        sh.hits <- sh.hits + 1;
-        Mutex.unlock sh.lock;
+        Sync.add sh.hits 1;
+        Sync.unlock sh.lock;
         `Hit v
     | Some In_flight ->
-        Condition.wait sh.ready sh.lock;
+        Sync.wait sh.ready sh.lock;
         claim ()
     | None ->
-        sh.misses <- sh.misses + 1;
+        Sync.add sh.misses 1;
+        Sync.write sh.c_cache;
         Hashtbl.replace sh.cache key In_flight;
-        Mutex.unlock sh.lock;
+        Sync.unlock sh.lock;
         `Miss
   in
   match claim () with
@@ -106,60 +117,62 @@ let get t key compute =
   | `Miss -> (
       match compute () with
       | v ->
-          Mutex.lock sh.lock;
+          Sync.lock sh.lock;
+          Sync.write sh.c_cache;
           Hashtbl.replace sh.cache key (Ready v);
           Queue.push key sh.order;
           evict_over_cap t sh;
-          Condition.broadcast sh.ready;
-          Mutex.unlock sh.lock;
+          Sync.broadcast sh.ready;
+          Sync.unlock sh.lock;
           v
       | exception e ->
           (* Release the claim so waiters retry (and fail) themselves
              instead of blocking forever. *)
-          Mutex.lock sh.lock;
+          Sync.lock sh.lock;
+          Sync.write sh.c_cache;
           Hashtbl.remove sh.cache key;
-          Condition.broadcast sh.ready;
-          Mutex.unlock sh.lock;
+          Sync.broadcast sh.ready;
+          Sync.unlock sh.lock;
           raise e)
 
 let find_opt t key =
   let sh = shard_for t key in
-  Mutex.lock sh.lock;
+  Sync.lock sh.lock;
+  Sync.read sh.c_cache;
   let r =
     match Hashtbl.find_opt sh.cache key with
     | Some (Ready v) -> Some v
     | Some In_flight | None -> None
   in
-  Mutex.unlock sh.lock;
+  Sync.unlock sh.lock;
   r
 
 let length t =
   Array.fold_left
     (fun acc sh ->
-      Mutex.lock sh.lock;
+      Sync.lock sh.lock;
+      Sync.read sh.c_cache;
       let n =
         Hashtbl.fold
           (fun _ e acc -> match e with Ready _ -> acc + 1 | In_flight -> acc)
           sh.cache 0
       in
-      Mutex.unlock sh.lock;
+      Sync.unlock sh.lock;
       acc + n)
     0 t.shards
 
 let stats t =
   Array.fold_left
     (fun acc sh ->
-      Mutex.lock sh.lock;
+      Sync.lock sh.lock;
+      Sync.read sh.c_cache;
       let size = Queue.length sh.order in
-      let r =
-        {
-          size = acc.size + size;
-          hits = acc.hits + sh.hits;
-          misses = acc.misses + sh.misses;
-          evictions = acc.evictions + sh.evictions;
-        }
-      in
-      Mutex.unlock sh.lock;
-      r)
+      Sync.unlock sh.lock;
+      {
+        size = acc.size + size;
+        hits = acc.hits + Sync.get sh.hits;
+        misses = acc.misses + Sync.get sh.misses;
+        evictions = acc.evictions + Sync.get sh.evictions;
+      })
     { size = 0; hits = 0; misses = 0; evictions = 0 }
     t.shards

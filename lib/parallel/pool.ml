@@ -1,13 +1,16 @@
 (* A fixed-size domain pool over a mutex/condition work queue.
 
-   No dependencies beyond the stdlib: workers are Domain.t values
-   blocking on a Condition until work arrives or shutdown is requested.
-   Each map call submits one closure per input element; the closures
-   write into a caller-owned slot array, so the pool itself never needs
-   to know the element types.  Completion is tracked per batch with a
-   dedicated mutex/condition pair, which keeps unrelated concurrent
-   batches (there are none today, but nothing forbids them) from waking
-   each other spuriously. *)
+   No dependencies beyond the stdlib: workers are domains blocking on a
+   Condition until work arrives or shutdown is requested.  Each map call
+   submits one closure per input element; the closures write into a
+   caller-owned slot array, so the pool itself never needs to know the
+   element types.  Completion is tracked per batch with a dedicated
+   mutex/condition pair, which keeps unrelated concurrent batches
+   (there are none today, but nothing forbids them) from waking each
+   other spuriously.
+
+   All synchronization runs through the Sync shim so the concurrency
+   sanitizer can record the pool's real lock/queue traffic. *)
 
 let max_jobs = 64
 
@@ -23,11 +26,13 @@ let effective_jobs requested = max 1 (min (min requested max_jobs) hw_parallelis
 type task = unit -> unit
 
 type shared = {
-  mutex : Mutex.t;
-  work : Condition.t;  (* signalled on enqueue and on shutdown *)
+  mutex : Sync.mutex;
+  work : Sync.condition;  (* signalled on enqueue and on shutdown *)
   queue : task Queue.t;
+  c_queue : Sync.cell;  (* race-detector marker for [queue] *)
   mutable stop : bool;
-  mutable workers : unit Domain.t list;
+  c_stop : Sync.cell;
+  mutable workers : unit Sync.handle list;
 }
 
 type t = { jobs : int; shared : shared option }
@@ -51,86 +56,143 @@ let sequential_scope f =
 let worker_loop shared () =
   Domain.DLS.set in_worker_key true;
   let rec loop () =
-    Mutex.lock shared.mutex;
-    while Queue.is_empty shared.queue && not shared.stop do
-      Condition.wait shared.work shared.mutex
+    Sync.lock shared.mutex;
+    let idle () =
+      Sync.read shared.c_queue;
+      Sync.read shared.c_stop;
+      Queue.is_empty shared.queue && not shared.stop
+    in
+    while idle () do
+      Sync.wait shared.work shared.mutex
     done;
     (* On shutdown the queue is drained before exiting, so no submitted
        batch is ever abandoned. *)
-    if Queue.is_empty shared.queue then Mutex.unlock shared.mutex
+    if Queue.is_empty shared.queue then Sync.unlock shared.mutex
     else begin
+      Sync.write shared.c_queue;
       let task = Queue.pop shared.queue in
-      Mutex.unlock shared.mutex;
+      Sync.unlock shared.mutex;
       task ();
       loop ()
     end
   in
   loop ()
 
-let create ?jobs () =
+let create ?(clamp = true) ?jobs () =
   let requested = match jobs with None -> hw_parallelism | Some j -> j in
-  let jobs = effective_jobs requested in
+  let jobs =
+    if clamp then effective_jobs requested else max 1 (min requested max_jobs)
+  in
   if jobs <= 1 then { jobs = 1; shared = None }
   else begin
     let shared =
       {
-        mutex = Mutex.create ();
-        work = Condition.create ();
+        mutex = Sync.mutex ~name:"pool.mutex" ();
+        work = Sync.condition ~name:"pool.work" ();
         queue = Queue.create ();
+        c_queue = Sync.cell ~name:"pool.queue" ();
         stop = false;
+        c_stop = Sync.cell ~name:"pool.stop" ();
         workers = [];
       }
     in
-    shared.workers <- List.init jobs (fun _ -> Domain.spawn (worker_loop shared));
+    shared.workers <- List.init jobs (fun _ -> Sync.spawn (worker_loop shared));
     { jobs; shared = Some shared }
   end
 
 let jobs t = t.jobs
 
+(* Join every worker even if some join raises (a worker domain died on
+   an escaped exception): losing one worker must not orphan the rest.
+   The first failure propagates unwrapped once all are joined. *)
+let join_all workers =
+  let first_exn = ref None in
+  List.iter
+    (fun d ->
+      match Sync.join d with
+      | () -> ()
+      | exception e ->
+          if !first_exn = None then
+            first_exn := Some (e, Printexc.get_raw_backtrace ()))
+    workers;
+  match !first_exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
 let shutdown t =
   match t.shared with
   | None -> ()
   | Some s ->
-      Mutex.lock s.mutex;
-      if s.stop then Mutex.unlock s.mutex
+      Sync.lock s.mutex;
+      Sync.read s.c_stop;
+      if s.stop then Sync.unlock s.mutex
       else begin
+        Sync.write s.c_stop;
         s.stop <- true;
-        Condition.broadcast s.work;
-        Mutex.unlock s.mutex;
-        List.iter Domain.join s.workers;
-        s.workers <- []
+        Sync.broadcast s.work;
+        let workers = s.workers in
+        s.workers <- [];
+        Sync.unlock s.mutex;
+        join_all workers
       end
+
+(* Test-only (see pool.mli): enqueue a raw task with none of map's
+   exception capture, so the teardown path can be exercised against a
+   worker that dies mid-flight. *)
+let unsafe_inject_for_test t task =
+  match t.shared with
+  | None -> false
+  | Some s ->
+      Sync.lock s.mutex;
+      Sync.read s.c_stop;
+      let accepted = not s.stop in
+      if accepted then begin
+        Sync.write s.c_queue;
+        Queue.add task s.queue;
+        Sync.signal s.work
+      end;
+      Sync.unlock s.mutex;
+      accepted
 
 (* Enqueue the batch and block until every task has run.  Tasks must not
    raise (map's wrapper catches everything into its slot array). *)
 let run_batch s tasks =
   let n = List.length tasks in
   let finished = ref 0 in
-  let done_m = Mutex.create () and done_c = Condition.create () in
+  let c_finished = Sync.cell ~name:"pool.batch.finished" () in
+  let done_m = Sync.mutex ~name:"pool.batch.mutex" ()
+  and done_c = Sync.condition ~name:"pool.batch.done" () in
   let wrap task () =
     task ();
-    Mutex.lock done_m;
+    Sync.lock done_m;
+    Sync.write c_finished;
     incr finished;
-    if !finished = n then Condition.signal done_c;
-    Mutex.unlock done_m
+    if !finished = n then Sync.signal done_c;
+    Sync.unlock done_m
   in
-  Mutex.lock s.mutex;
+  Sync.lock s.mutex;
+  Sync.write s.c_queue;
   List.iter (fun task -> Queue.add (wrap task) s.queue) tasks;
-  Condition.broadcast s.work;
-  Mutex.unlock s.mutex;
-  Mutex.lock done_m;
-  while !finished < n do
-    Condition.wait done_c done_m
+  Sync.broadcast s.work;
+  Sync.unlock s.mutex;
+  Sync.lock done_m;
+  let pending () =
+    Sync.read c_finished;
+    !finished < n
+  in
+  while pending () do
+    Sync.wait done_c done_m
   done;
-  Mutex.unlock done_m
+  Sync.unlock done_m
 
 type ('b, 'e) slot = ('b, 'e) result option
 
 let map t f xs =
   let usable s =
-    Mutex.lock s.mutex;
+    Sync.lock s.mutex;
+    Sync.read s.c_stop;
     let u = not s.stop in
-    Mutex.unlock s.mutex;
+    Sync.unlock s.mutex;
     u
   in
   match (t.shared, xs) with
@@ -143,8 +205,13 @@ let map t f xs =
         let slots : ('b, exn * Printexc.raw_backtrace) slot array =
           Array.make n None
         in
+        (* One marker per slot: distinct indices are distinct memory. *)
+        let slot_cells =
+          Array.init n (fun _ -> Sync.cell ~name:"pool.map.slot" ())
+        in
         let tasks =
           List.init n (fun i () ->
+              Sync.write slot_cells.(i);
               slots.(i) <-
                 Some
                   (match f arr.(i) with
@@ -154,8 +221,10 @@ let map t f xs =
         run_batch s tasks;
         (* Re-raise the earliest failure — what sequential List.map
            would have raised first. *)
-        Array.iter
-          (function
+        Array.iteri
+          (fun i slot ->
+            Sync.read slot_cells.(i);
+            match slot with
             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
             | Some (Ok _) -> ()
             | None -> assert false (* run_batch waited for every task *))

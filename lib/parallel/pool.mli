@@ -15,11 +15,15 @@
 type t
 (** A pool of worker domains.  Workers live until {!shutdown}. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?clamp:bool -> ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [effective_jobs jobs] worker domains.
     [jobs] defaults to [Domain.recommended_domain_count ()].  An
     effective count [<= 1] creates a poolless handle that runs
-    everything in the calling domain. *)
+    everything in the calling domain.  [~clamp:false] skips the
+    hardware-parallelism clamp (still capped at [max_jobs]) — for the
+    concurrency sanitizer and teardown tests, which need real worker
+    domains even on a 1-core host; production callers should keep the
+    default. *)
 
 val jobs : t -> int
 (** Worker-domain count the pool actually runs with (1 = sequential);
@@ -36,7 +40,17 @@ val effective_jobs : int -> int
 
 val shutdown : t -> unit
 (** Ask the workers to exit once the queue drains and join them.
-    Idempotent.  Submitting to a shut-down pool runs sequentially. *)
+    Idempotent.  Submitting to a shut-down pool runs sequentially.
+    Every worker is joined even if a join re-raises a worker's escaped
+    exception (the first failure propagates after all joins finish), so
+    a dying worker can never orphan the remaining domains. *)
+
+val unsafe_inject_for_test : t -> (unit -> unit) -> bool
+(** Enqueue a raw task with none of {!map}'s exception capture — a
+    raising task kills its worker domain.  Exists solely so the
+    teardown regression test can drive {!shutdown}'s join-all path
+    against a dead worker; never call it from production code.  Returns
+    [false] on a poolless or stopped pool. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map on an explicit pool.  Exceptions

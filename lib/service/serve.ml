@@ -38,6 +38,7 @@ module Oracle = Vliw_analysis.Oracle
 module Cancel = Vliw_parallel.Cancel
 module Pool = Vliw_parallel.Pool
 module Memo = Vliw_parallel.Memo
+module Sync = Vliw_parallel.Sync
 module Context = Vliw_experiments.Context
 
 let schema_version = 1
@@ -57,7 +58,8 @@ type outcome = { counters : counters; reason : string }
 (* ------------------------------------------------------ shared state *)
 
 type tally = {
-  t_mutex : Mutex.t;
+  t_mutex : Sync.mutex;
+  t_cell : Sync.cell;  (* race-detector marker for all six counters *)
   mutable t_accepted : int;
   mutable t_ok : int;
   mutable t_errors : int;
@@ -68,7 +70,8 @@ type tally = {
 
 let tally_create () =
   {
-    t_mutex = Mutex.create ();
+    t_mutex = Sync.mutex ~name:"serve.tally.mutex" ();
+    t_cell = Sync.cell ~name:"serve.tally" ();
     t_accepted = 0;
     t_ok = 0;
     t_errors = 0;
@@ -78,118 +81,171 @@ let tally_create () =
   }
 
 let bump t f =
-  Mutex.lock t.t_mutex;
+  Sync.lock t.t_mutex;
+  Sync.write t.t_cell;
   f t;
-  Mutex.unlock t.t_mutex
+  Sync.unlock t.t_mutex
 
 let tally_read t =
-  Mutex.lock t.t_mutex;
+  Sync.lock t.t_mutex;
+  Sync.read t.t_cell;
   let r =
     ( t.t_accepted, t.t_ok, t.t_errors, t.t_timeouts, t.t_internal, t.t_shed )
   in
-  Mutex.unlock t.t_mutex;
+  Sync.unlock t.t_mutex;
   r
 
 (* In-order response emitter.  Write failures (client went away) must
    never stall the bookkeeping: the sequence counter advances whether or
    not the bytes made it out, so drain barriers cannot deadlock on a
-   broken pipe. *)
-type emitter = {
-  e_mutex : Mutex.t;
-  e_flushed : Condition.t;
-  e_pending : (int, string) Hashtbl.t;
-  mutable e_next : int;
-  e_out : out_channel;
-}
+   broken pipe.  Exposed (with an abstract sink) so the concurrency
+   sanitizer's virtual scheduler can drive the real reorder logic in
+   closed scenarios. *)
+module Emitter = struct
+  type t = {
+    e_mutex : Sync.mutex;
+    e_flushed : Sync.condition;
+    e_pending : (int, string) Hashtbl.t;
+    e_cell : Sync.cell;  (* marker for [e_pending] + [e_next] *)
+    mutable e_next : int;
+    e_write : string -> unit;
+    e_flush : unit -> unit;
+  }
+
+  let create ?(flush = fun () -> ()) ~write () =
+    {
+      e_mutex = Sync.mutex ~name:"serve.emitter.mutex" ();
+      e_flushed = Sync.condition ~name:"serve.emitter.flushed" ();
+      e_pending = Hashtbl.create 64;
+      e_cell = Sync.cell ~name:"serve.emitter.state" ();
+      e_next = 0;
+      e_write = write;
+      e_flush = flush;
+    }
+
+  let emit em seq line =
+    Sync.lock em.e_mutex;
+    Sync.write em.e_cell;
+    Hashtbl.replace em.e_pending seq line;
+    let progressed = ref false in
+    while Hashtbl.mem em.e_pending em.e_next do
+      let l = Hashtbl.find em.e_pending em.e_next in
+      Hashtbl.remove em.e_pending em.e_next;
+      em.e_next <- em.e_next + 1;
+      progressed := true;
+      em.e_write l
+    done;
+    if !progressed then begin
+      em.e_flush ();
+      Sync.broadcast em.e_flushed
+    end;
+    Sync.unlock em.e_mutex
+
+  let wait_until em seq =
+    Sync.lock em.e_mutex;
+    let behind () =
+      Sync.read em.e_cell;
+      em.e_next < seq
+    in
+    while behind () do
+      Sync.wait em.e_flushed em.e_mutex
+    done;
+    Sync.unlock em.e_mutex
+end
 
 let emitter_create out =
-  {
-    e_mutex = Mutex.create ();
-    e_flushed = Condition.create ();
-    e_pending = Hashtbl.create 64;
-    e_next = 0;
-    e_out = out;
+  Emitter.create
+    ~write:(fun l ->
+      try
+        output_string out l;
+        output_char out '\n'
+      with Sys_error _ -> ())
+    ~flush:(fun () -> try flush out with Sys_error _ -> ())
+    ()
+
+let emit = Emitter.emit
+let wait_until = Emitter.wait_until
+
+(* Bounded dispatch queue for jobs > 1.  Exposed for the same reason as
+   {!Emitter}: the queue-full shed vs. drain-barrier scenario runs this
+   exact code under the virtual scheduler. *)
+module Wq = struct
+  type t = {
+    q_mutex : Sync.mutex;
+    q_nonempty : Sync.condition;
+    q_tasks : (unit -> unit) Queue.t;
+    q_cell : Sync.cell;  (* marker for [q_tasks]/[q_stop]/[q_watermark] *)
+    q_cap : int;
+    mutable q_stop : bool;
+    mutable q_watermark : int;
   }
 
-let emit em seq line =
-  Mutex.lock em.e_mutex;
-  Hashtbl.replace em.e_pending seq line;
-  let progressed = ref false in
-  while Hashtbl.mem em.e_pending em.e_next do
-    let l = Hashtbl.find em.e_pending em.e_next in
-    Hashtbl.remove em.e_pending em.e_next;
-    em.e_next <- em.e_next + 1;
-    progressed := true;
-    try
-      output_string em.e_out l;
-      output_char em.e_out '\n'
-    with Sys_error _ -> ()
-  done;
-  if !progressed then begin
-    (try flush em.e_out with Sys_error _ -> ());
-    Condition.broadcast em.e_flushed
-  end;
-  Mutex.unlock em.e_mutex
+  let create cap =
+    {
+      q_mutex = Sync.mutex ~name:"serve.wq.mutex" ();
+      q_nonempty = Sync.condition ~name:"serve.wq.nonempty" ();
+      q_tasks = Queue.create ();
+      q_cell = Sync.cell ~name:"serve.wq.state" ();
+      q_cap = max 1 cap;
+      q_stop = false;
+      q_watermark = 0;
+    }
 
-let wait_until em seq =
-  Mutex.lock em.e_mutex;
-  while em.e_next < seq do
-    Condition.wait em.e_flushed em.e_mutex
-  done;
-  Mutex.unlock em.e_mutex
+  let push q task =
+    Sync.lock q.q_mutex;
+    Sync.read q.q_cell;
+    let accepted = Queue.length q.q_tasks < q.q_cap && not q.q_stop in
+    if accepted then begin
+      Sync.write q.q_cell;
+      Queue.add task q.q_tasks;
+      q.q_watermark <- max q.q_watermark (Queue.length q.q_tasks);
+      Sync.signal q.q_nonempty
+    end;
+    Sync.unlock q.q_mutex;
+    accepted
 
-(* Bounded dispatch queue for jobs > 1. *)
-type wq = {
-  q_mutex : Mutex.t;
-  q_nonempty : Condition.t;
-  q_tasks : (unit -> unit) Queue.t;
-  q_cap : int;
-  mutable q_stop : bool;
-  mutable q_watermark : int;
-}
+  let rec worker q =
+    Sync.lock q.q_mutex;
+    let idle () =
+      Sync.read q.q_cell;
+      Queue.is_empty q.q_tasks && not q.q_stop
+    in
+    while idle () do
+      Sync.wait q.q_nonempty q.q_mutex
+    done;
+    (* Stop drains the queue first: every accepted request still gets
+       its response before the workers exit. *)
+    if Queue.is_empty q.q_tasks then Sync.unlock q.q_mutex
+    else begin
+      Sync.write q.q_cell;
+      let task = Queue.pop q.q_tasks in
+      Sync.unlock q.q_mutex;
+      (try task () with _ -> ());
+      worker q
+    end
 
-let wq_create cap =
-  {
-    q_mutex = Mutex.create ();
-    q_nonempty = Condition.create ();
-    q_tasks = Queue.create ();
-    q_cap = max 1 cap;
-    q_stop = false;
-    q_watermark = 0;
-  }
+  let stop q =
+    Sync.lock q.q_mutex;
+    Sync.write q.q_cell;
+    q.q_stop <- true;
+    Sync.broadcast q.q_nonempty;
+    Sync.unlock q.q_mutex
 
-let wq_push q task =
-  Mutex.lock q.q_mutex;
-  let accepted = Queue.length q.q_tasks < q.q_cap && not q.q_stop in
-  if accepted then begin
-    Queue.add task q.q_tasks;
-    q.q_watermark <- max q.q_watermark (Queue.length q.q_tasks);
-    Condition.signal q.q_nonempty
-  end;
-  Mutex.unlock q.q_mutex;
-  accepted
+  let watermark q =
+    Sync.lock q.q_mutex;
+    Sync.read q.q_cell;
+    let w = q.q_watermark in
+    Sync.unlock q.q_mutex;
+    w
+end
 
-let rec wq_worker q =
-  Mutex.lock q.q_mutex;
-  while Queue.is_empty q.q_tasks && not q.q_stop do
-    Condition.wait q.q_nonempty q.q_mutex
-  done;
-  (* Stop drains the queue first: every accepted request still gets its
-     response before the workers exit. *)
-  if Queue.is_empty q.q_tasks then Mutex.unlock q.q_mutex
-  else begin
-    let task = Queue.pop q.q_tasks in
-    Mutex.unlock q.q_mutex;
-    (try task () with _ -> ());
-    wq_worker q
-  end
+let wq_create = Wq.create
+let wq_push = Wq.push
+let wq_worker = Wq.worker
 
 let wq_shutdown q workers =
-  Mutex.lock q.q_mutex;
-  q.q_stop <- true;
-  Condition.broadcast q.q_nonempty;
-  Mutex.unlock q.q_mutex;
-  List.iter Domain.join workers
+  Wq.stop q;
+  List.iter Sync.join workers
 
 (* --------------------------------------------------- response builders *)
 
@@ -480,7 +536,7 @@ let run ?(jobs = 1) ?(queue_cap = 128) ?chaos ?(wall_times = false)
   let workers =
     match wq with
     | None -> []
-    | Some q -> List.init jobs (fun _ -> Domain.spawn (fun () -> wq_worker q))
+    | Some q -> List.init jobs (fun _ -> Sync.spawn (fun () -> wq_worker q))
   in
   let seq = ref 0 in
   (* (reason, drain request's seq/id when drained by request) *)
@@ -620,9 +676,7 @@ let run ?(jobs = 1) ?(queue_cap = 128) ?chaos ?(wall_times = false)
         wait_until em !seq;
         (!seq, None)
   in
-  let watermark =
-    match wq with None -> 0 | Some q -> q.q_watermark
-  in
+  let watermark = match wq with None -> 0 | Some q -> Wq.watermark q in
   let drained =
     let b = head ~seq:drained_seq ~id:drained_id ~req:(Some "drain") in
     Buffer.add_string b

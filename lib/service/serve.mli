@@ -53,6 +53,37 @@ type outcome = {
   reason : string;  (** "request", "sigint" or "eof" *)
 }
 
+(** The service's in-order response emitter, exposed so the concurrency
+    sanitizer's virtual scheduler can drive the {e real} reorder-buffer
+    logic in closed scenarios.  [emit] delivers completed responses in
+    strict sequence order through [write] regardless of completion
+    order; [wait_until t n] blocks until every sequence below [n] has
+    been written (the health/drain barrier). *)
+module Emitter : sig
+  type t
+
+  val create :
+    ?flush:(unit -> unit) -> write:(string -> unit) -> unit -> t
+
+  val emit : t -> int -> string -> unit
+  val wait_until : t -> int -> unit
+end
+
+(** The bounded dispatch queue behind [jobs > 1], exposed for the same
+    reason: the queue-full shed vs. drain-barrier scenario explores this
+    exact code.  [push] returns [false] (shed) on a full or stopped
+    queue; [worker] loops until [stop] and the queue has drained;
+    [stop] does not join the workers — callers do. *)
+module Wq : sig
+  type t
+
+  val create : int -> t
+  val push : t -> (unit -> unit) -> bool
+  val worker : t -> unit
+  val stop : t -> unit
+  val watermark : t -> int
+end
+
 val run :
   ?jobs:int ->
   ?queue_cap:int ->

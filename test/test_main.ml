@@ -17,6 +17,7 @@ let () =
       ("oracle", Test_oracle.suite);
       ("locality", Test_locality.suite);
       ("service", Test_service.suite);
+      ("concsan", Test_concsan.suite);
       ("figures", Test_figures.suite);
       ("properties", Test_props.suite);
     ]

@@ -72,6 +72,32 @@ let test_explicit_pool_lifecycle () =
   check cil "map after shutdown degrades to sequential" (List.map succ xs)
     (Pool.map p succ xs)
 
+exception Worker_died
+
+let test_shutdown_joins_all_domains_despite_dead_worker () =
+  (* Regression: shutdown must join *every* worker domain even when
+     one of them died of an escaped exception — killing one worker
+     must not orphan the rest or wedge shutdown.  ~clamp:false forces
+     real worker domains even on a 1-core host; unsafe_inject_for_test
+     bypasses map's exception capture so the task genuinely kills its
+     worker. *)
+  let p = Pool.create ~clamp:false ~jobs:3 () in
+  check cb "real multi-domain pool" true (Pool.jobs p = 3);
+  check cb "raw task injected" true
+    (Pool.unsafe_inject_for_test p (fun () -> raise Worker_died));
+  (* Give the doomed task time to be picked up before stopping. *)
+  Unix.sleepf 0.05;
+  (match Pool.shutdown p with
+  | () -> ()
+  | exception Worker_died -> ());
+  (* All domains are joined: a second shutdown is a settled no-op and
+     the pool degrades to sequential instead of hanging. *)
+  Pool.shutdown p;
+  check cil "pool usable (sequentially) after teardown" [ 1; 2; 3 ]
+    (Pool.map p succ [ 0; 1; 2 ]);
+  check cb "injection refused after shutdown" false
+    (Pool.unsafe_inject_for_test p ignore)
+
 (* ------------------------------------------------- cache key + memo *)
 
 let bench name = WL.Mediabench.find name
@@ -181,12 +207,16 @@ let test_memo_cap_contention () =
   let memo = Vliw_parallel.Memo.create ~shards:2 ~cap:4 () in
   let keys = List.init 16 (fun i -> Printf.sprintf "k%02d" i) in
   let rounds = 5 in
+  let computes = Atomic.make 0 in
   let worker () =
     List.concat_map
       (fun _ ->
         List.map
           (fun k ->
-            (k, Vliw_parallel.Memo.get memo k (fun () -> "v:" ^ k)))
+            ( k,
+              Vliw_parallel.Memo.get memo k (fun () ->
+                  Atomic.incr computes;
+                  "v:" ^ k) ))
           keys)
       (List.init rounds Fun.id)
   in
@@ -197,9 +227,16 @@ let test_memo_cap_contention () =
     (fun (k, v) -> check cs "every get returns its key's value" ("v:" ^ k) v)
     results;
   let s = Vliw_parallel.Memo.stats memo in
+  (* The counters are atomics behind the sync shim, so under real
+     contention the totals are exact, not approximate. *)
   check ci "hits + misses = total gets"
     (4 * rounds * List.length keys)
     (s.Vliw_parallel.Memo.hits + s.Vliw_parallel.Memo.misses);
+  check ci "misses = computations that actually ran" (Atomic.get computes)
+    s.Vliw_parallel.Memo.misses;
+  check ci "every computed entry is resident or evicted"
+    (Atomic.get computes)
+    (s.Vliw_parallel.Memo.size + s.Vliw_parallel.Memo.evictions);
   check cb "size stays within the (rounded-up) cap" true
     (s.Vliw_parallel.Memo.size <= 4 + 2);
   check cb "the small cap forced evictions" true
@@ -389,6 +426,8 @@ let suite =
     ("pool: earliest exception propagates", `Quick, test_exception_propagates);
     ("pool: nested maps don't deadlock", `Quick, test_nested_map_runs_sequentially);
     ("pool: create/reuse/shutdown", `Quick, test_explicit_pool_lifecycle);
+    ("pool: shutdown joins all domains despite a dead worker", `Quick,
+     test_shutdown_joins_all_domains_despite_dead_worker);
     ("context: cache key carries config fingerprint", `Quick,
      test_cache_key_includes_fingerprint);
     ("context: memo is single-flight under contention", `Slow,
